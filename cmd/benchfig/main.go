@@ -1,0 +1,249 @@
+// Command benchfig regenerates every table and figure of the paper's
+// evaluation (§5) from the reproduction's models and solvers:
+//
+//	table1 — characteristics of the three test matrices (Table 1)
+//	5      — RMA get flood bandwidth, native vs reference memory kinds vs
+//	         MPI (Fig. 5)
+//	6      — CPU vs GPU BLAS/LAPACK call counts, rank 0 (Fig. 6)
+//	7/8    — factorization / solve strong scaling, Flan analogue (Figs. 7–8)
+//	9/10   — factorization / solve strong scaling, bone analogue (Figs. 9–10)
+//	11/12  — factorization / solve strong scaling, thermal analogue
+//	         (Figs. 11–12)
+//
+// Usage:
+//
+//	benchfig -fig all -scale 2
+//	benchfig -fig 7 -scale 3
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sympack"
+	"sympack/internal/des"
+	"sympack/internal/gen"
+	"sympack/internal/machine"
+	"sympack/internal/matrix"
+	"sympack/internal/ordering"
+	"sympack/internal/simnet"
+	"sympack/internal/symbolic"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure to regenerate: table1|5|6|7|8|9|10|11|12|all")
+		scale = flag.Int("scale", 2, "problem scale for the matrix generators")
+	)
+	flag.StringVar(&csvDir, "csv", "", "also write each figure's series as CSV files into this directory")
+	flag.Parse()
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "benchfig:", err)
+			os.Exit(1)
+		}
+	}
+
+	run := func(name string, f func(int) error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		fmt.Printf("==================== %s ====================\n", header(name))
+		if err := f(*scale); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	run("table1", table1)
+	run("5", fig5)
+	run("6", fig6)
+	run("7", scaling("Flan_1565 analogue", buildFlan, false))
+	run("8", scaling("Flan_1565 analogue", buildFlan, true))
+	run("9", scaling("boneS10 analogue", buildBone, false))
+	run("10", scaling("boneS10 analogue", buildBone, true))
+	run("11", scaling("thermal2 analogue", buildThermal, false))
+	run("12", scaling("thermal2 analogue", buildThermal, true))
+}
+
+func header(name string) string {
+	switch name {
+	case "table1":
+		return "Table 1: test matrices"
+	case "5":
+		return "Figure 5: RMA get flood bandwidth (memory kinds)"
+	case "6":
+		return "Figure 6: BLAS/LAPACK calls on CPU vs GPU"
+	case "7":
+		return "Figure 7: factorization strong scaling, Flan analogue"
+	case "8":
+		return "Figure 8: solve strong scaling, Flan analogue"
+	case "9":
+		return "Figure 9: factorization strong scaling, bone analogue"
+	case "10":
+		return "Figure 10: solve strong scaling, bone analogue"
+	case "11":
+		return "Figure 11: factorization strong scaling, thermal analogue"
+	case "12":
+		return "Figure 12: solve strong scaling, thermal analogue"
+	}
+	return name
+}
+
+// csvDir, when set, receives one CSV per figure for plotting.
+var csvDir string
+
+// writeCSV writes rows (first row = header) to <csvDir>/<name>.csv.
+func writeCSV(name string, rows [][]string) error {
+	if csvDir == "" {
+		return nil
+	}
+	fh, err := os.Create(filepath.Join(csvDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	w := csv.NewWriter(fh)
+	defer w.Flush()
+	return w.WriteAll(rows)
+}
+
+func table1(scale int) error {
+	fmt.Printf("%-12s %-45s %10s %14s\n", "Name", "Description", "n", "nnz")
+	for _, p := range gen.Table1Problems() {
+		m := p.Build(scale)
+		st := gen.StatsOf(p.Name, p.Description, m)
+		fmt.Printf("%-12s %-45s %10d %14d\n", st.Name, st.Description, st.N, st.Nnz)
+	}
+	return nil
+}
+
+// fig5 evaluates the flood-bandwidth of the three transfer paths at the
+// paper's payload sizes (window of 64 in-flight gets, as in the AD/AE).
+func fig5(int) error {
+	native := simnet.New(machine.Perlmutter())
+	const window = 64
+	fmt.Printf("%-10s %16s %16s %16s %10s %10s\n",
+		"size", "native (MiB/s)", "reference", "MPI", "nat/ref", "nat/MPI")
+	for _, bytes := range []int64{16, 64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20} {
+		nat := native.Bandwidth(simnet.PathGDR, bytes, window)
+		ref := native.Bandwidth(simnet.PathStaged, bytes, window)
+		mpi := native.Bandwidth(simnet.PathMPIGet, bytes, window)
+		fmt.Printf("%-10s %16.1f %16.1f %16.1f %10.2f %10.2f\n",
+			sizeName(bytes), nat/(1<<20), ref/(1<<20), mpi/(1<<20), nat/ref, nat/mpi)
+	}
+	fmt.Println("(limiting wire speed: 23 GB/s ≈ 21934 MiB/s)")
+	rows := [][]string{{"bytes", "native_mibs", "reference_mibs", "mpi_mibs"}}
+	for _, bytes := range []int64{16, 64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20} {
+		rows = append(rows, []string{
+			fmt.Sprint(bytes),
+			fmt.Sprintf("%.1f", native.Bandwidth(simnet.PathGDR, bytes, window)/(1<<20)),
+			fmt.Sprintf("%.1f", native.Bandwidth(simnet.PathStaged, bytes, window)/(1<<20)),
+			fmt.Sprintf("%.1f", native.Bandwidth(simnet.PathMPIGet, bytes, window)/(1<<20)),
+		})
+	}
+	return writeCSV("fig5", rows)
+}
+
+func sizeName(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMiB", b>>20)
+	case b >= 1<<10:
+		return fmt.Sprintf("%dkiB", b>>10)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// fig6 runs a real factorization + solve of the Flan analogue with 4 ranks
+// and 4 GPUs and prints rank 0's per-operation CPU/GPU call counts.
+func fig6(scale int) error {
+	a := buildFlan(scale)
+	f, err := sympack.Factorize(a, sympack.Options{
+		Ranks: 4, RanksPerNode: 4, GPUsPerNode: 4,
+	})
+	if err != nil {
+		return err
+	}
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = 1
+	}
+	if _, err := f.SolveDistributed(b); err != nil {
+		return err
+	}
+	fmt.Printf("matrix: Flan analogue n=%d, 4 UPC++ processes, 4 GPUs; rank 0 shown\n", a.N)
+	fmt.Printf("%-8s %12s %12s\n", "op", "CPU", "GPU")
+	r0 := f.Stats.PerRank[0]
+	for op := 0; op < machine.NumOps; op++ {
+		fmt.Printf("%-8s %12d %12d\n", machine.Op(op), r0.CPU[op], r0.GPU[op])
+	}
+	return nil
+}
+
+func buildFlan(scale int) *matrix.SparseSym {
+	s := 4 + 3*scale
+	return gen.Flan3D(s, s, s, 1565)
+}
+
+func buildBone(scale int) *matrix.SparseSym {
+	s := 8 + 6*scale
+	return gen.Bone3D(s, s, s, 0.35, 10)
+}
+
+func buildThermal(scale int) *matrix.SparseSym {
+	s := 64 + 96*scale
+	return gen.Thermal2D(s, s, s/16, 2)
+}
+
+// scaling returns a figure runner for one matrix: strong scaling of
+// factorization or solve for both solvers over 1–64 nodes, best
+// ranks-per-node per point (the paper's methodology).
+func scaling(name string, build func(int) *matrix.SparseSym, solve bool) func(int) error {
+	return func(scale int) error {
+		a := build(scale)
+		st, _, err := symbolic.Analyze(a, ordering.NestedDissection, symbolic.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		tg := symbolic.BuildTaskGraph(st)
+		fmt.Printf("matrix: %s  n=%d nnz=%d  supernodes=%d  factor flops=%.3g\n",
+			name, a.N, a.NnzFull(), st.NumSupernodes(), float64(st.FactorFlop))
+		phase := "factorization"
+		if solve {
+			phase = "solve"
+		}
+		fmt.Printf("%-6s %18s %18s %9s\n", "nodes", "symPACK "+phase, "PaStiX-like", "speedup")
+		spPts, err := des.StrongScaling(st, tg, des.DefaultSweep(des.SymPACK))
+		if err != nil {
+			return err
+		}
+		blPts, err := des.StrongScaling(st, tg, des.DefaultSweep(des.Baseline))
+		if err != nil {
+			return err
+		}
+		rows := [][]string{{"nodes", "sympack_seconds", "pastix_seconds"}}
+		for i := range spPts {
+			spT, blT := spPts[i].FactorSeconds, blPts[i].FactorSeconds
+			if solve {
+				spT, blT = spPts[i].SolveSeconds, blPts[i].SolveSeconds
+			}
+			fmt.Printf("%-6d %15.4gs %15.4gs %8.1fx\n", spPts[i].Nodes, spT, blT, blT/spT)
+			rows = append(rows, []string{
+				fmt.Sprint(spPts[i].Nodes),
+				fmt.Sprintf("%.6g", spT),
+				fmt.Sprintf("%.6g", blT),
+			})
+		}
+		tag := "factor"
+		if solve {
+			tag = "solve"
+		}
+		return writeCSV(strings.ReplaceAll(name, " ", "_")+"_"+tag, rows)
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import "testing"
+
+func TestHeaders(t *testing.T) {
+	for _, name := range []string{"table1", "5", "6", "7", "8", "9", "10", "11", "12"} {
+		if h := header(name); h == name || h == "" {
+			t.Fatalf("missing header for %s", name)
+		}
+	}
+	if header("zz") != "zz" {
+		t.Fatal("unknown name should pass through")
+	}
+}
+
+func TestSizeName(t *testing.T) {
+	cases := map[int64]string{16: "16B", 4 << 10: "4kiB", 1 << 20: "1MiB"}
+	for b, want := range cases {
+		if got := sizeName(b); got != want {
+			t.Fatalf("sizeName(%d) = %q, want %q", b, got, want)
+		}
+	}
+}
+
+func TestFigureRunnersSmallScale(t *testing.T) {
+	if err := table1(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fig5(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fig6(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalingRunnerSmallScale(t *testing.T) {
+	// One factor figure on the smallest matrix keeps this quick while
+	// driving the full sweep code path.
+	if err := scaling("bone test", buildBone, false)(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilders(t *testing.T) {
+	for name, m := range map[string]interface{ Validate() error }{
+		"flan":    buildFlan(1),
+		"bone":    buildBone(1),
+		"thermal": buildThermal(1),
+	} {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

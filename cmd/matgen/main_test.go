@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestBuildAllKinds(t *testing.T) {
+	for _, kind := range []string{"flan", "bone", "thermal", "laplace2d", "laplace3d", "random"} {
+		a, err := build(kind, 1, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := build("nosuch", 1, 1); err == nil {
+		t.Fatal("expected unknown-kind error")
+	}
+	if _, err := build("flan", 0, 1); err == nil {
+		t.Fatal("expected scale error")
+	}
+}
+
+func TestPrintTable1(t *testing.T) {
+	printTable1(1) // smoke: must not panic
+}

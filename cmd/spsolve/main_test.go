@@ -1,0 +1,132 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sympack"
+)
+
+func writeTestMatrix(t *testing.T, dir string) (string, *sympack.Matrix) {
+	t.Helper()
+	a := sympack.Laplace2D(9, 9)
+	path := filepath.Join(dir, "a.mtx")
+	fh, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	if err := sympack.WriteMatrixMarket(fh, a); err != nil {
+		t.Fatal(err)
+	}
+	return path, a
+}
+
+func readVec(t *testing.T, path string, n int) []float64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []float64
+	for _, line := range strings.Fields(string(data)) {
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, v)
+	}
+	if len(out) != n {
+		t.Fatalf("vector length %d, want %d", len(out), n)
+	}
+	return out
+}
+
+func TestSolveEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	mat, a := writeTestMatrix(t, dir)
+	out := filepath.Join(dir, "x.txt")
+	if err := run(mat, "", out, 2, 0, "SCOTCH", false, "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	x := readVec(t, out, a.N)
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = 1
+	}
+	if r := sympack.ResidualNorm(a, x, b); r > 1e-10 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestFactorCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	mat, a := writeTestMatrix(t, dir)
+	fac := filepath.Join(dir, "a.spkf")
+	// Factor-only invocation.
+	if err := run(mat, "", "", 2, 0, "SCOTCH", false, fac, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	// Solve from the cached factor with an explicit rhs.
+	rhs := filepath.Join(dir, "b.txt")
+	var sb strings.Builder
+	for i := 0; i < a.N; i++ {
+		sb.WriteString("1.5\n")
+	}
+	if err := os.WriteFile(rhs, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "x.txt")
+	if err := run("", rhs, out, 2, 0, "SCOTCH", false, "", fac, ""); err != nil {
+		t.Fatal(err)
+	}
+	x := readVec(t, out, a.N)
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = 1.5
+	}
+	if r := sympack.ResidualNorm(a, x, b); r > 1e-10 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestRefineAndSelinv(t *testing.T) {
+	dir := t.TempDir()
+	mat, a := writeTestMatrix(t, dir)
+	out := filepath.Join(dir, "x.txt")
+	diag := filepath.Join(dir, "d.txt")
+	if err := run(mat, "", out, 2, 0, "AMD", true, "", "", diag); err != nil {
+		t.Fatal(err)
+	}
+	d := readVec(t, diag, a.N)
+	for i, v := range d {
+		if v <= 0 {
+			t.Fatalf("diag(A⁻¹)[%d] = %g, want positive", i, v)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "", 2, 0, "SCOTCH", false, "", "", ""); err == nil {
+		t.Fatal("expected error without inputs")
+	}
+	if err := run("/nonexistent.mtx", "", "", 2, 0, "SCOTCH", false, "", "", ""); err == nil {
+		t.Fatal("expected file error")
+	}
+	dir := t.TempDir()
+	mat, _ := writeTestMatrix(t, dir)
+	if err := run(mat, "", "", 2, 0, "BOGUS", false, "", "", ""); err == nil {
+		t.Fatal("expected ordering error")
+	}
+	// Refinement without the matrix must be refused.
+	fac := filepath.Join(dir, "a.spkf")
+	if err := run(mat, "", "", 2, 0, "SCOTCH", false, fac, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "", filepath.Join(dir, "x.txt"), 2, 0, "SCOTCH", true, "", fac, ""); err == nil {
+		t.Fatal("expected refine-without-matrix error")
+	}
+}

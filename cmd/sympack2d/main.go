@@ -1,0 +1,208 @@
+// Command sympack2d is the equivalent of the paper's run_sympack2D driver
+// (AD/AE §A.2.4): it loads or generates a sparse SPD matrix, runs the
+// fan-out Cholesky factorization over the simulated UPC++ ranks, solves
+// with the requested number of right-hand sides, and reports timings,
+// residuals, and (with -gpu_v) the CPU/GPU workload-distribution statistics
+// behind the paper's Fig. 6.
+//
+// Usage:
+//
+//	sympack2d -in matrix.rb -nrhs 1 -ordering SCOTCH -ranks 4 -gpus 2
+//	sympack2d -gen flan:4 -ranks 8 -ranks-per-node 4 -gpus 4 -gpu_v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"sympack"
+	"sympack/internal/gpu"
+	"sympack/internal/machine"
+	"sympack/internal/ordering"
+	"sympack/internal/trace"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input matrix file (.mtx MatrixMarket or .rb Rutherford-Boeing)")
+		genSpec  = flag.String("gen", "", "generate a matrix instead: flan:S, bone:S, thermal:S, laplace2d:S, laplace3d:S (S = integer scale)")
+		nrhs     = flag.Int("nrhs", 1, "number of right-hand sides to solve")
+		ordName  = flag.String("ordering", "SCOTCH", "fill-reducing ordering: SCOTCH|AMD|RCM|NATURAL")
+		ranks    = flag.Int("ranks", 4, "number of UPC++ processes to simulate")
+		rpn      = flag.Int("ranks-per-node", 0, "ranks per node (0 = all on one node)")
+		gpus     = flag.Int("gpus", 0, "GPUs per node (0 = CPU only)")
+		devCap   = flag.Int64("device-mem", 0, "device memory per GPU in MiB (0 = unbounded)")
+		fallback = flag.String("fallback", "cpu", "device OOM fallback: cpu|error")
+		gpuV     = flag.Bool("gpu_v", false, "print CPU/GPU workload distribution (Fig. 6 data)")
+		distSol  = flag.Bool("dist-solve", true, "use the distributed triangular solve")
+		seed     = flag.Int64("seed", 1, "generator / RHS seed")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event timeline of the factorization to this file")
+	)
+	flag.Parse()
+
+	a, name, err := loadMatrix(*in, *genSpec, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sympack2d:", err)
+		os.Exit(1)
+	}
+	ord, err := ordering.ParseKind(*ordName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sympack2d:", err)
+		os.Exit(1)
+	}
+	opt := sympack.Options{
+		Ranks:        *ranks,
+		RanksPerNode: *rpn,
+		GPUsPerNode:  *gpus,
+		Ordering:     ord,
+	}
+	if *devCap > 0 {
+		opt.DeviceCapacity = *devCap * (1 << 20) / 8
+	}
+	if *fallback == "error" {
+		opt.Fallback = gpu.FallbackError
+	}
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.New()
+		opt.Trace = rec
+	}
+
+	fmt.Printf("matrix: %s  n=%d  nnz=%d  ordering=%v  ranks=%d  gpus/node=%d\n",
+		name, a.N, a.NnzFull(), ord, *ranks, *gpus)
+
+	f, err := sympack.Factorize(a, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sympack2d: factorization failed:", err)
+		os.Exit(1)
+	}
+	st := &f.Stats
+	fmt.Printf("factorization: wall=%v  modeled=%.4gs  supernodes=%d  blocks=%d  updates=%d\n",
+		st.Wall, st.ModelSeconds, st.Supernodes, st.Blocks, st.Updates)
+	fmt.Printf("factor: nnz(L)=%d  flops=%.3g  fill=%.2fx\n",
+		st.NnzL, float64(st.FactorFlop), float64(st.NnzL)/float64(a.Nnz()))
+	if st.FallbacksOOM > 0 {
+		fmt.Printf("device OOM fallbacks to CPU: %d\n", st.FallbacksOOM)
+	}
+
+	rng := rand.New(rand.NewSource(*seed + 100))
+	for r := 0; r < *nrhs; r++ {
+		xTrue := make([]float64, a.N)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(xTrue)
+		var x []float64
+		if *distSol {
+			x, err = f.SolveDistributed(b)
+		} else {
+			x, err = f.Solve(b)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sympack2d: solve failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("solve %d: wall=%v  relative residual=%.3g\n",
+			r, f.SolveStats.Wall, sympack.ResidualNorm(a, x, b))
+	}
+
+	if *gpuV {
+		printWorkloadSplit(f)
+	}
+
+	if rec != nil {
+		fh, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sympack2d:", err)
+			os.Exit(1)
+		}
+		defer fh.Close()
+		if err := rec.WriteChromeTrace(fh); err != nil {
+			fmt.Fprintln(os.Stderr, "sympack2d:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace: %d events written to %s (open in chrome://tracing)\n", rec.Len(), *traceOut)
+		fmt.Println("rank utilization (busy fraction of makespan):")
+		util := rec.RankUtilization()
+		for rank := 0; rank < *ranks; rank++ {
+			fmt.Printf("  rank %2d: %5.1f%%\n", rank, 100*util[int32(rank)])
+		}
+	}
+}
+
+// loadMatrix reads a file or builds a generated problem.
+func loadMatrix(in, genSpec string, seed int64) (*sympack.Matrix, string, error) {
+	switch {
+	case in != "":
+		fh, err := os.Open(in)
+		if err != nil {
+			return nil, "", err
+		}
+		defer fh.Close()
+		var a *sympack.Matrix
+		if strings.HasSuffix(in, ".rb") || strings.HasSuffix(in, ".rua") || strings.HasSuffix(in, ".rsa") {
+			a, err = sympack.ReadRutherfordBoeing(fh)
+		} else {
+			a, err = sympack.ReadMatrixMarket(fh)
+		}
+		return a, in, err
+	case genSpec != "":
+		parts := strings.SplitN(genSpec, ":", 2)
+		scale := 3
+		if len(parts) == 2 {
+			s, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, "", fmt.Errorf("bad scale in %q", genSpec)
+			}
+			scale = s
+		}
+		switch parts[0] {
+		case "flan":
+			s := 2 + scale
+			return sympack.Flan3D(s, s, s, seed), genSpec, nil
+		case "bone":
+			s := 4 + 2*scale
+			return sympack.Bone3D(s, s, s, 0.35, seed), genSpec, nil
+		case "thermal":
+			s := 8 + 8*scale
+			return sympack.Thermal2D(s, s, scale, seed), genSpec, nil
+		case "laplace2d":
+			s := 8 + 8*scale
+			return sympack.Laplace2D(s, s), genSpec, nil
+		case "laplace3d":
+			s := 3 + scale
+			return sympack.Laplace3D(s, s, s), genSpec, nil
+		default:
+			return nil, "", fmt.Errorf("unknown generator %q", parts[0])
+		}
+	default:
+		return nil, "", fmt.Errorf("one of -in or -gen is required")
+	}
+}
+
+// printWorkloadSplit prints the Fig. 6 data: per-operation CPU vs GPU call
+// counts for rank 0 (representative, as in the paper) and in aggregate.
+func printWorkloadSplit(f *sympack.Factor) {
+	fmt.Println("\nworkload distribution (rank 0, as in paper Fig. 6):")
+	fmt.Printf("%-8s %12s %12s\n", "op", "CPU", "GPU")
+	r0 := f.Stats.PerRank[0]
+	for op := 0; op < machine.NumOps; op++ {
+		fmt.Printf("%-8s %12d %12d\n", machine.Op(op), r0.CPU[op], r0.GPU[op])
+	}
+	fmt.Println("\nworkload distribution (all ranks):")
+	fmt.Printf("%-8s %12s %12s\n", "op", "CPU", "GPU")
+	var tot struct{ cpu, gpu [machine.NumOps]int64 }
+	for _, s := range f.Stats.PerRank {
+		for op := 0; op < machine.NumOps; op++ {
+			tot.cpu[op] += s.CPU[op]
+			tot.gpu[op] += s.GPU[op]
+		}
+	}
+	for op := 0; op < machine.NumOps; op++ {
+		fmt.Printf("%-8s %12d %12d\n", machine.Op(op), tot.cpu[op], tot.gpu[op])
+	}
+}

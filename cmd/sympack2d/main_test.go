@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sympack"
+)
+
+func TestLoadMatrixGenerators(t *testing.T) {
+	for _, spec := range []string{"flan:1", "bone:1", "thermal:1", "laplace2d:1", "laplace3d:2", "flan"} {
+		a, name, err := loadMatrix("", spec, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if a.N <= 0 || name == "" {
+			t.Fatalf("%s: empty matrix", spec)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+	}
+}
+
+func TestLoadMatrixErrors(t *testing.T) {
+	if _, _, err := loadMatrix("", "", 1); err == nil {
+		t.Fatal("expected error with no input")
+	}
+	if _, _, err := loadMatrix("", "nosuch:2", 1); err == nil {
+		t.Fatal("expected unknown generator error")
+	}
+	if _, _, err := loadMatrix("", "flan:x", 1); err == nil {
+		t.Fatal("expected bad scale error")
+	}
+	if _, _, err := loadMatrix("/nonexistent/file.mtx", "", 1); err == nil {
+		t.Fatal("expected file error")
+	}
+}
+
+func TestLoadMatrixFiles(t *testing.T) {
+	dir := t.TempDir()
+	a := sympack.Laplace2D(5, 5)
+
+	mm := filepath.Join(dir, "m.mtx")
+	fh, err := os.Create(mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sympack.WriteMatrixMarket(fh, a); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+	got, _, err := loadMatrix(mm, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != a.N || got.Nnz() != a.Nnz() {
+		t.Fatal("matrix market load mismatch")
+	}
+
+	rb := filepath.Join(dir, "m.rb")
+	fh, err = os.Create(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sympack.WriteRutherfordBoeing(fh, a, "t"); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+	got, _, err = loadMatrix(rb, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != a.N || got.Nnz() != a.Nnz() {
+		t.Fatal("rutherford-boeing load mismatch")
+	}
+}
+
+func TestPrintWorkloadSplit(t *testing.T) {
+	a := sympack.Laplace2D(8, 8)
+	f, err := sympack.Factorize(a, sympack.Options{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	printWorkloadSplit(f) // must not panic with zero GPU counters
+}

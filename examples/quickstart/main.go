@@ -1,0 +1,55 @@
+// Quickstart: assemble a small SPD system, factor it with the fan-out
+// solver, solve, and check the residual — the shortest tour of the public
+// API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sympack"
+)
+
+func main() {
+	// A 2D Poisson problem on a 60×60 grid: the canonical sparse SPD
+	// system (n = 3600, five-point stencil).
+	a := sympack.Laplace2D(60, 60)
+	fmt.Printf("matrix: n=%d, nnz=%d\n", a.N, a.NnzFull())
+
+	// A right-hand side with a known solution, so we can verify.
+	rng := rand.New(rand.NewSource(42))
+	xTrue := make([]float64, a.N)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := a.MulVec(xTrue)
+
+	// Factor across 4 simulated UPC++ ranks. Options{} zero value would
+	// run a single rank; Ordering defaults to nested dissection (the
+	// Scotch equivalent).
+	f, err := sympack.Factorize(a, sympack.Options{Ranks: 4})
+	if err != nil {
+		log.Fatalf("factorization failed: %v", err)
+	}
+	fmt.Printf("factored: %d supernodes, %d blocks, nnz(L)=%d, wall=%v\n",
+		f.Stats.Supernodes, f.Stats.Blocks, f.Stats.NnzL, f.Stats.Wall)
+
+	// Solve with the distributed triangular solve and verify.
+	x, err := f.SolveDistributed(b)
+	if err != nil {
+		log.Fatalf("solve failed: %v", err)
+	}
+	fmt.Printf("solved: relative residual = %.3g\n", sympack.ResidualNorm(a, x, b))
+
+	// The same factor solves additional right-hand sides at will.
+	b2 := make([]float64, a.N)
+	for i := range b2 {
+		b2[i] = 1
+	}
+	x2, err := f.Solve(b2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("second rhs: relative residual = %.3g\n", sympack.ResidualNorm(a, x2, b2))
+}

@@ -1,0 +1,3 @@
+module sympack
+
+go 1.22

@@ -1,0 +1,219 @@
+package blas
+
+// Cache-blocked GEMM: the classic GotoBLAS decomposition — pack panels of
+// both operands into contiguous buffers and run a 4×4 register micro-kernel
+// over them.
+//
+// Measured finding (see BenchmarkGemmBlockedVsSimple): in pure Go this
+// decomposition LOSES to the simple axpy-form loops in blas.go at every
+// size (≈2–3 GF/s vs ≈3.8–4 GF/s on the dev machine), because the gc
+// compiler cannot vectorize the scalar micro-kernel while the contiguous
+// axpy loops already run near the scalar pipeline limit and need no packing
+// passes. The implementation is kept, tested, and benchmarked as a
+// documented negative result; Gemm dispatches to the axpy form. Revisit if
+// Go gains SIMD intrinsics.
+
+const (
+	// Panel sizes: mc×kc panels of A (packed column-major by micro-rows),
+	// kc×nc panels of B.
+	gemmMC = 128
+	gemmKC = 256
+	gemmNC = 512
+	// Micro-kernel tile.
+	gemmMR = 4
+	gemmNR = 4
+)
+
+// gemmBlockedNT computes C += alpha·A·Bᵀ with A m×k (lda), B n×k (ldb),
+// C m×n (ldc), using packing and the micro-kernel.
+func gemmBlockedNT(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	var packA [gemmMC * gemmKC]float64
+	var packB [gemmKC * gemmNC]float64
+	for jc := 0; jc < n; jc += gemmNC {
+		nc := min(gemmNC, n-jc)
+		for pc := 0; pc < k; pc += gemmKC {
+			kc := min(gemmKC, k-pc)
+			// Pack B(jc:jc+nc, pc:pc+kc)ᵀ into row-panels of width NR:
+			// packB holds, for each micro-column block, kc rows of NR
+			// values B[j, l].
+			packBPanelsNT(packB[:], b, ldb, jc, pc, nc, kc)
+			for ic := 0; ic < m; ic += gemmMC {
+				mc := min(gemmMC, m-ic)
+				packAPanels(packA[:], a, lda, ic, pc, mc, kc)
+				macroKernel(mc, nc, kc, alpha, packA[:], packB[:], c, ldc, ic, jc)
+			}
+		}
+	}
+}
+
+// gemmBlockedNN computes C += alpha·A·B with A m×k (lda), B k×n (ldb):
+// identical machinery, with B packed untransposed.
+func gemmBlockedNN(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	var packA [gemmMC * gemmKC]float64
+	var packB [gemmKC * gemmNC]float64
+	for jc := 0; jc < n; jc += gemmNC {
+		nc := min(gemmNC, n-jc)
+		for pc := 0; pc < k; pc += gemmKC {
+			kc := min(gemmKC, k-pc)
+			packBPanelsNN(packB[:], b, ldb, jc, pc, nc, kc)
+			for ic := 0; ic < m; ic += gemmMC {
+				mc := min(gemmMC, m-ic)
+				packAPanels(packA[:], a, lda, ic, pc, mc, kc)
+				macroKernel(mc, nc, kc, alpha, packA[:], packB[:], c, ldc, ic, jc)
+			}
+		}
+	}
+}
+
+// packAPanels packs A(ic:ic+mc, pc:pc+kc) into MR-row panels: panel p holds
+// kc columns of MR consecutive rows, stored column-by-column, zero-padded
+// to MR at the fringe.
+func packAPanels(dst []float64, a []float64, lda, ic, pc, mc, kc int) {
+	di := 0
+	for i := 0; i < mc; i += gemmMR {
+		ib := min(gemmMR, mc-i)
+		for l := 0; l < kc; l++ {
+			col := a[(pc+l)*lda+ic+i:]
+			for r := 0; r < ib; r++ {
+				dst[di] = col[r]
+				di++
+			}
+			for r := ib; r < gemmMR; r++ {
+				dst[di] = 0
+				di++
+			}
+		}
+	}
+}
+
+// packBPanelsNT packs Bᵀ(pc:pc+kc, jc:jc+nc) — i.e. B(jc.., pc..) with B
+// n×k — into NR-column panels: panel q holds kc rows of NR values
+// B[jc+j, pc+l], zero-padded to NR.
+func packBPanelsNT(dst []float64, b []float64, ldb, jc, pc, nc, kc int) {
+	di := 0
+	for j := 0; j < nc; j += gemmNR {
+		jb := min(gemmNR, nc-j)
+		for l := 0; l < kc; l++ {
+			col := b[(pc+l)*ldb+jc+j:]
+			for r := 0; r < jb; r++ {
+				dst[di] = col[r]
+				di++
+			}
+			for r := jb; r < gemmNR; r++ {
+				dst[di] = 0
+				di++
+			}
+		}
+	}
+}
+
+// packBPanelsNN packs B(pc:pc+kc, jc:jc+nc) with B k×n into the same
+// NR-panel layout.
+func packBPanelsNN(dst []float64, b []float64, ldb, jc, pc, nc, kc int) {
+	di := 0
+	for j := 0; j < nc; j += gemmNR {
+		jb := min(gemmNR, nc-j)
+		for l := 0; l < kc; l++ {
+			row := b[(jc+j)*ldb+pc+l:]
+			for r := 0; r < jb; r++ {
+				dst[di] = row[r*ldb]
+				di++
+			}
+			for r := jb; r < gemmNR; r++ {
+				dst[di] = 0
+				di++
+			}
+		}
+	}
+}
+
+// macroKernel runs the micro-kernel over every MR×NR tile of the packed
+// panels, accumulating into C(ic.., jc..).
+func macroKernel(mc, nc, kc int, alpha float64, packA, packB []float64, c []float64, ldc, ic, jc int) {
+	for j := 0; j < nc; j += gemmNR {
+		jb := min(gemmNR, nc-j)
+		bp := packB[(j/gemmNR)*kc*gemmNR:]
+		for i := 0; i < mc; i += gemmMR {
+			ib := min(gemmMR, mc-i)
+			ap := packA[(i/gemmMR)*kc*gemmMR:]
+			if ib == gemmMR && jb == gemmNR {
+				microKernel4x4(kc, alpha, ap, bp, c[(jc+j)*ldc+ic+i:], ldc)
+			} else {
+				microKernelEdge(kc, ib, jb, alpha, ap, bp, c[(jc+j)*ldc+ic+i:], ldc)
+			}
+		}
+	}
+}
+
+// microKernel4x4 computes a full 4×4 tile: C_tile += alpha · Ap·Bp over kc
+// steps, keeping the 16 accumulators in registers.
+func microKernel4x4(kc int, alpha float64, ap, bp []float64, c []float64, ldc int) {
+	var c00, c10, c20, c30 float64
+	var c01, c11, c21, c31 float64
+	var c02, c12, c22, c32 float64
+	var c03, c13, c23, c33 float64
+	ai, bi := 0, 0
+	for l := 0; l < kc; l++ {
+		// Pointer-to-array conversions give the compiler fixed bounds,
+		// eliminating per-element checks in this innermost loop.
+		av := (*[4]float64)(ap[ai : ai+4])
+		bv := (*[4]float64)(bp[bi : bi+4])
+		a0, a1, a2, a3 := av[0], av[1], av[2], av[3]
+		b0, b1, b2, b3 := bv[0], bv[1], bv[2], bv[3]
+		c00 += a0 * b0
+		c10 += a1 * b0
+		c20 += a2 * b0
+		c30 += a3 * b0
+		c01 += a0 * b1
+		c11 += a1 * b1
+		c21 += a2 * b1
+		c31 += a3 * b1
+		c02 += a0 * b2
+		c12 += a1 * b2
+		c22 += a2 * b2
+		c32 += a3 * b2
+		c03 += a0 * b3
+		c13 += a1 * b3
+		c23 += a2 * b3
+		c33 += a3 * b3
+		ai += gemmMR
+		bi += gemmNR
+	}
+	c[0] += alpha * c00
+	c[1] += alpha * c10
+	c[2] += alpha * c20
+	c[3] += alpha * c30
+	c[ldc+0] += alpha * c01
+	c[ldc+1] += alpha * c11
+	c[ldc+2] += alpha * c21
+	c[ldc+3] += alpha * c31
+	c[2*ldc+0] += alpha * c02
+	c[2*ldc+1] += alpha * c12
+	c[2*ldc+2] += alpha * c22
+	c[2*ldc+3] += alpha * c32
+	c[3*ldc+0] += alpha * c03
+	c[3*ldc+1] += alpha * c13
+	c[3*ldc+2] += alpha * c23
+	c[3*ldc+3] += alpha * c33
+}
+
+// microKernelEdge handles fringe tiles narrower than MR×NR.
+func microKernelEdge(kc, ib, jb int, alpha float64, ap, bp []float64, c []float64, ldc int) {
+	var acc [gemmMR * gemmNR]float64
+	ai, bi := 0, 0
+	for l := 0; l < kc; l++ {
+		for jj := 0; jj < jb; jj++ {
+			bv := bp[bi+jj]
+			for ii := 0; ii < ib; ii++ {
+				acc[jj*gemmMR+ii] += ap[ai+ii] * bv
+			}
+		}
+		ai += gemmMR
+		bi += gemmNR
+	}
+	for jj := 0; jj < jb; jj++ {
+		for ii := 0; ii < ib; ii++ {
+			c[jj*ldc+ii] += alpha * acc[jj*gemmMR+ii]
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package blas
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkGemmBlockedVsSimple documents the negative result recorded in
+// gemm_blocked.go: the packed micro-kernel path trails the axpy loops.
+func BenchmarkGemmBlockedVsSimple(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{48, 64, 96, 128, 192, 256, 384} {
+		a := randSlice(rng, n*n)
+		bb := randSlice(rng, n*n)
+		c := make([]float64, n*n)
+		b.Run(fmt.Sprintf("simple-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gemmNT(n, n, n, 1, a, n, bb, n, c, n)
+			}
+			b.ReportMetric(float64(2*n*n*n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+		})
+		b.Run(fmt.Sprintf("blocked-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gemmBlockedNT(n, n, n, 1, a, n, bb, n, c, n)
+			}
+			b.ReportMetric(float64(2*n*n*n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+		})
+	}
+}

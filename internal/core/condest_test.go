@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sympack/internal/blas"
+	"sympack/internal/gen"
+	"sympack/internal/matrix"
+)
+
+// denseCond1 computes the exact κ₁ for small matrices via the dense inverse.
+func denseCond1(t *testing.T, a *matrix.SparseSym) float64 {
+	t.Helper()
+	n := a.N
+	d := a.Dense()
+	chol := append([]float64(nil), d...)
+	if err := blas.Potrf(blas.Lower, n, chol, n); err != nil {
+		t.Fatal(err)
+	}
+	colSum := func(m []float64) float64 {
+		var worst float64
+		for j := 0; j < n; j++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += math.Abs(m[i+j*n])
+			}
+			if s > worst {
+				worst = s
+			}
+		}
+		return worst
+	}
+	inv := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		col := inv[j*n : j*n+n]
+		col[j] = 1
+		blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, n, 1, 1, chol, n, col, n)
+		blas.Trsm(blas.Left, blas.Lower, blas.Transpose, n, 1, 1, chol, n, col, n)
+	}
+	return colSum(d) * colSum(inv)
+}
+
+func TestCondEst1AgainstDense(t *testing.T) {
+	for name, a := range map[string]*matrix.SparseSym{
+		"laplace": gen.Laplace2D(8, 8),
+		"random":  gen.RandomSPD(30, 0.2, 3),
+		"thermal": gen.Thermal2D(10, 10, 2, 4),
+		"tiny":    gen.Laplace2D(2, 2),
+	} {
+		f, err := Factorize(a, Options{Ranks: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		est, err := f.CondEst1(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := denseCond1(t, a)
+		// Hager's estimate is a lower bound, rarely below exact/10.
+		if est > exact*1.0001 {
+			t.Fatalf("%s: estimate %g exceeds exact %g", name, est, exact)
+		}
+		if est < exact/10 {
+			t.Fatalf("%s: estimate %g too far below exact %g", name, est, exact)
+		}
+	}
+}
+
+// The estimator must track conditioning trends: a Laplacian on a finer grid
+// is worse conditioned.
+func TestCondEst1Trend(t *testing.T) {
+	coarse := gen.Laplace2D(6, 6)
+	fine := gen.Laplace2D(24, 24)
+	fc, err := Factorize(coarse, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := Factorize(fine, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := fc.CondEst1(coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, err := ff.CondEst1(fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ef <= ec {
+		t.Fatalf("finer grid should be worse conditioned: %g vs %g", ef, ec)
+	}
+	// An identity-like matrix has κ₁ ≈ 1.
+	id := gen.RandomSPD(12, 0, 1)
+	fi, err := Factorize(id, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ei, err := fi.CondEst1(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ei < 1 || ei > 30 {
+		t.Fatalf("near-diagonal matrix estimate %g implausible", ei)
+	}
+}

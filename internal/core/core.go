@@ -1,0 +1,371 @@
+// Package core implements symPACK's numeric phase: the asynchronous
+// fan-out supernodal Cholesky factorization of paper §3 and the supernodal
+// triangular solves, executed over the UPC++-style runtime in
+// internal/upcxx with the GPU-offload behaviour of §4.
+//
+// Each rank owns the blocks the 2D block-cyclic map assigns to it, holds a
+// local task queue (LTQ) of those blocks' tasks with dependency counters,
+// and a ready task queue (RTQ). Completed diagonal and panel factorizations
+// notify consumer ranks with an RPC carrying a global pointer; consumers
+// poll, pull the data with a one-sided get, decrement dependencies, and
+// move newly satisfied tasks to the RTQ — the protocol of paper Figs. 3–4.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"sympack/internal/gpu"
+	"sympack/internal/machine"
+	"sympack/internal/matrix"
+	"sympack/internal/ordering"
+	"sympack/internal/symbolic"
+	"sympack/internal/trace"
+	"sympack/internal/upcxx"
+)
+
+// Options configures a factorization.
+type Options struct {
+	// Ranks is the number of UPC++ processes to simulate (default 1).
+	Ranks int
+	// RanksPerNode controls node locality in the communication model
+	// (default: all ranks on one node).
+	RanksPerNode int
+	// GPUsPerNode enables GPU offload when > 0.
+	GPUsPerNode int
+	// DeviceCapacity bounds each device's memory in float64 elements
+	// (0 = unbounded). Exercises the paper's fallback options.
+	DeviceCapacity int64
+	// Fallback selects the behaviour on device OOM (§4.2).
+	Fallback gpu.FallbackPolicy
+	// Thresholds are the per-operation GPU offload sizes; zero value
+	// means gpu.DefaultThresholds.
+	Thresholds *gpu.Thresholds
+	// Machine is the platform cost model; zero value means Perlmutter.
+	Machine *machine.Machine
+	// Ordering selects the fill-reducing ordering (default: nested
+	// dissection, the Scotch stand-in).
+	Ordering ordering.Kind
+	// Symbolic tunes supernode detection; zero value means
+	// symbolic.DefaultOptions.
+	Symbolic *symbolic.Options
+	// Scheduling selects the RTQ policy (paper §3.4 leaves this open:
+	// "the next task ... is whichever one is at the top of the queue";
+	// evaluating policies was flagged as future work, so all three are
+	// provided). Default is FIFO.
+	Scheduling SchedulingPolicy
+	// Mapping selects the block→process distribution. The default 2D
+	// block-cyclic map is the paper's choice (§3.3); the 1D column map is
+	// provided to demonstrate the serial bottleneck it avoids.
+	Mapping MappingKind
+	// Trace, when non-nil, records every executed task for timeline and
+	// load-balance analysis (Chrome trace-event export).
+	Trace *trace.Recorder
+	// StallTimeout aborts the factorization when no rank completes a task
+	// for this long — a watchdog against scheduling deadlocks. Zero means
+	// the 30s default; negative disables the watchdog.
+	StallTimeout time.Duration
+}
+
+// MappingKind selects the block distribution.
+type MappingKind uint8
+
+const (
+	// Map2DCyclic is the paper's 2D block-cyclic distribution (default).
+	Map2DCyclic MappingKind = iota
+	// Map1DCols assigns whole supernode columns cyclically.
+	Map1DCols
+)
+
+func (m MappingKind) String() string {
+	if m == Map1DCols {
+		return "1d-cols"
+	}
+	return "2d-cyclic"
+}
+
+// blockMapFor constructs the configured distribution.
+func blockMapFor(kind MappingKind, p int) symbolic.BlockMap {
+	if kind == Map1DCols {
+		return symbolic.Map1D{NP: p}
+	}
+	return symbolic.NewMap2D(p)
+}
+
+// SchedulingPolicy orders the ready task queue.
+type SchedulingPolicy uint8
+
+const (
+	// SchedFIFO runs ready tasks oldest-first (the paper's default
+	// top-of-queue behaviour).
+	SchedFIFO SchedulingPolicy = iota
+	// SchedLIFO runs the most recently readied task first, improving
+	// cache locality at the cost of fairness.
+	SchedLIFO
+	// SchedCriticalPath runs the task whose supernode has the longest
+	// remaining ancestor chain first, prioritizing the DAG's critical
+	// path.
+	SchedCriticalPath
+)
+
+func (p SchedulingPolicy) String() string {
+	switch p {
+	case SchedFIFO:
+		return "fifo"
+	case SchedLIFO:
+		return "lifo"
+	case SchedCriticalPath:
+		return "critical-path"
+	default:
+		return "policy?"
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Ranks < 1 {
+		o.Ranks = 1
+	}
+	if o.Thresholds == nil {
+		t := gpu.DefaultThresholds()
+		o.Thresholds = &t
+	}
+	if o.Machine == nil {
+		m := machine.Perlmutter()
+		o.Machine = &m
+	}
+	if o.Symbolic == nil {
+		s := symbolic.DefaultOptions()
+		o.Symbolic = &s
+	}
+	if o.Ordering == 0 {
+		o.Ordering = ordering.NestedDissection
+	}
+	if o.StallTimeout == 0 {
+		o.StallTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// OpStats counts kernel invocations split by execution target, the data of
+// the paper's Fig. 6.
+type OpStats struct {
+	CPU [machine.NumOps]int64
+	GPU [machine.NumOps]int64
+}
+
+// Add accumulates another counter set.
+func (s *OpStats) Add(o OpStats) {
+	for i := range s.CPU {
+		s.CPU[i] += o.CPU[i]
+		s.GPU[i] += o.GPU[i]
+	}
+}
+
+// Total returns the total op count.
+func (s *OpStats) Total() int64 {
+	var t int64
+	for i := range s.CPU {
+		t += s.CPU[i] + s.GPU[i]
+	}
+	return t
+}
+
+// Stats reports what a factorization did.
+type Stats struct {
+	PerRank []OpStats // kernel counts per rank (Fig. 6 plots rank 0)
+
+	Wall         time.Duration // actual wall-clock time of the numeric phase
+	ModelSeconds float64       // max over ranks of modeled virtual time
+
+	NnzL       int64
+	FactorFlop int64
+	Supernodes int
+	Blocks     int
+	Updates    int
+
+	FallbacksOOM int64 // device-OOM events that fell back to the CPU
+}
+
+// Factor is a completed Cholesky factorization PAPᵀ = LLᵀ.
+type Factor struct {
+	St   *symbolic.Structure
+	Opt  Options
+	Data [][]float64 // per global block ID, column-major, ld = block rows
+
+	Stats      Stats
+	SolveStats Stats // filled by Solve
+}
+
+// ErrNotPositiveDefinite is re-exported for callers that only import core.
+var ErrNotPositiveDefinite = errors.New("core: matrix is not positive definite")
+
+// Factorize computes the sparse Cholesky factorization of the SPD matrix a
+// using the fan-out distributed algorithm.
+func Factorize(a *matrix.SparseSym, opt Options) (*Factor, error) {
+	opt = opt.withDefaults()
+	st, pa, err := symbolic.Analyze(a, opt.Ordering, *opt.Symbolic)
+	if err != nil {
+		return nil, err
+	}
+	return FactorizeAnalyzed(st, pa, opt)
+}
+
+// FactorizeAnalyzed factors a matrix whose symbolic analysis is already
+// available (pa must be the permuted matrix returned by symbolic.Analyze).
+// Reusing the analysis across factorizations of same-structure matrices is
+// the pattern of the paper's PEXSI use case (§5.3).
+func FactorizeAnalyzed(st *symbolic.Structure, pa *matrix.SparseSym, opt Options) (*Factor, error) {
+	opt = opt.withDefaults()
+	tg := symbolic.BuildTaskGraph(st)
+	m2d := blockMapFor(opt.Mapping, opt.Ranks)
+
+	rt, err := upcxx.NewRuntime(upcxx.Config{
+		Ranks:          opt.Ranks,
+		RanksPerNode:   opt.RanksPerNode,
+		GPUsPerNode:    opt.GPUsPerNode,
+		Machine:        *opt.Machine,
+		DeviceCapacity: opt.DeviceCapacity,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	f := &Factor{St: st, Opt: opt, Data: make([][]float64, len(st.Blocks))}
+	f.Stats.PerRank = make([]OpStats, opt.Ranks)
+	f.Stats.NnzL = st.NnzL
+	f.Stats.FactorFlop = st.FactorFlop
+	f.Stats.Supernodes = st.NumSupernodes()
+	f.Stats.Blocks = st.NumBlocks()
+	f.Stats.Updates = len(tg.Updates)
+
+	dir := make([]upcxx.GlobalPtr, len(st.Blocks))
+	engines := make([]*engine, opt.Ranks)
+
+	var progress atomic.Int64
+	stopWatch := startWatchdog(rt, &progress, opt.StallTimeout, func() string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "core: no task completed for %v; per-rank done/total:", opt.StallTimeout)
+		for _, e := range engines {
+			if e != nil {
+				fmt.Fprintf(&b, " r%d=%d/%d", e.r.ID, e.doneTasks, e.totalTasks)
+			}
+		}
+		return b.String()
+	})
+	defer stopWatch()
+
+	start := time.Now()
+	err = rt.Run(func(r *upcxx.Rank) {
+		e := newEngine(r, st, tg, pa, m2d, &opt, dir, engines)
+		e.progress = &progress
+		engines[r.ID] = e
+		e.setup()
+		if err := r.Barrier(); err != nil {
+			return
+		}
+		e.factorLoop()
+		_ = r.Barrier()
+	})
+	f.Stats.Wall = time.Since(start)
+	if err != nil {
+		if errors.Is(err, ErrNotPositiveDefinite) {
+			return nil, err
+		}
+		return nil, err
+	}
+	for _, e := range engines {
+		f.Stats.PerRank[e.r.ID] = e.ops
+		f.Stats.FallbacksOOM += e.oomFallbacks
+		if s := e.r.Elapsed(); s > f.Stats.ModelSeconds {
+			f.Stats.ModelSeconds = s
+		}
+		for bid, data := range e.owned {
+			if data != nil {
+				f.Data[bid] = data
+			}
+		}
+	}
+	// Every block must have been produced.
+	for bid := range f.Data {
+		if f.Data[bid] == nil {
+			return nil, fmt.Errorf("core: internal: block %d never factored", bid)
+		}
+	}
+	return f, nil
+}
+
+// startWatchdog monitors a progress counter and fails the runtime when it
+// stalls for longer than `timeout`. It returns a stop function; a
+// non-positive timeout disables the watchdog entirely. The diag callback
+// builds the abort message at trip time (it may read engine state racily —
+// acceptable for a diagnostic emitted on the way down, and engines publish
+// counters only through normal execution).
+func startWatchdog(rt *upcxx.Runtime, progress *atomic.Int64, timeout time.Duration, diag func() string) func() {
+	if timeout <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		last := progress.Load()
+		ticker := time.NewTicker(timeout)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				cur := progress.Load()
+				if cur == last {
+					rt.Fail(fmt.Errorf("%w: %s", ErrStalled, diag()))
+					return
+				}
+				last = cur
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// ErrStalled is returned when the watchdog detects a scheduling deadlock.
+var ErrStalled = errors.New("core: factorization stalled")
+
+// blockDims returns (rows, cols) of a block's dense storage.
+func blockDims(st *symbolic.Structure, b *symbolic.Block) (int, int) {
+	return int(b.NRows), st.Snodes[b.Snode].NCols()
+}
+
+// L returns the factor value at global (permuted) position (i, j), for
+// tests and diagnostics; O(log) lookups.
+func (f *Factor) L(i, j int32) float64 {
+	if i < j {
+		return 0
+	}
+	st := f.St
+	k := st.SnOf[j]
+	rsn := st.SnOf[i]
+	bid := st.FindBlock(rsn, k)
+	if bid < 0 {
+		return 0
+	}
+	b := &st.Blocks[bid]
+	sn := &st.Snodes[k]
+	rows := sn.Rows[b.RowOff : b.RowOff+b.NRows]
+	// binary search row i
+	lo, hi := 0, len(rows)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if rows[mid] < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(rows) || rows[lo] != i {
+		return 0
+	}
+	col := int(j - sn.FirstCol)
+	return f.Data[bid][lo+col*int(b.NRows)]
+}

@@ -1,0 +1,695 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"sympack/internal/blas"
+	"sympack/internal/gpu"
+	"sympack/internal/machine"
+	"sympack/internal/matrix"
+	"sympack/internal/simnet"
+	"sympack/internal/symbolic"
+	"sympack/internal/upcxx"
+)
+
+// taskKind enumerates the paper's three task types (§3.2).
+type taskKind uint8
+
+const (
+	taskDiag   taskKind = iota // D_k: POTRF of a diagonal block
+	taskFactor                 // F_{i,k}: TRSM of an off-diagonal block
+	taskUpdate                 // U_{i,j,k}: SYRK/GEMM update
+)
+
+// task is one RTQ entry: a block id for D/F, an update index for U.
+type task struct {
+	kind taskKind
+	id   int32
+}
+
+// fetched caches a pulled (or locally produced) source block, optionally
+// with a device-resident mirror for the paper's "GPU blocks" optimization.
+type fetched struct {
+	host []float64
+	dev  *gpu.Buffer
+}
+
+// engine is the per-rank state of the fan-out factorization.
+type engine struct {
+	r   *upcxx.Rank
+	st  *symbolic.Structure
+	tg  *symbolic.TaskGraph
+	a   *matrix.SparseSym
+	m2d symbolic.BlockMap
+	opt *Options
+	dir []upcxx.GlobalPtr // shared global directory of block pointers
+	// peers is the per-factorization engine registry (index = rank).
+	// Producer RPC closures use it to reach the consumer's inbox; the
+	// closure executes on the consumer's goroutine inside Progress(), so
+	// only the consumer touches its own engine state.
+	peers []*engine
+
+	owned [][]float64 // per block id: storage for blocks this rank owns
+
+	// Dependency counters for tasks this rank owns, indexed by block id
+	// and update index respectively.
+	depBlock  []int32
+	depUpdate []int32
+
+	// avail caches source-block data this rank can consume, by block id.
+	avail []*fetched
+
+	// updatesByLocalSource maps a source block id to the local update
+	// tasks consuming it (precomputed from the task graph restricted to
+	// owned targets).
+	updatesByLocalSource [][]int32
+	// localFOfSnode maps a supernode to this rank's off-diagonal blocks in
+	// it (waiting on the supernode's diagonal factor).
+	localFOfSnode [][]int32
+
+	// signals received but not yet processed: block ids announced by
+	// producers via RPC.
+	inbox []int32
+
+	rtq []task
+	// progress counts executed tasks for the stall watchdog (shared
+	// across ranks; may be nil in tests constructing engines directly).
+	progress *atomic.Int64
+	// chainDepth[k] = number of supernodal-tree ancestors above supernode
+	// k, the critical-path priority (longer remaining chains run first).
+	chainDepth []int32
+
+	totalTasks int
+	doneTasks  int
+
+	ops          OpStats
+	oomFallbacks int64
+}
+
+func newEngine(r *upcxx.Rank, st *symbolic.Structure, tg *symbolic.TaskGraph, a *matrix.SparseSym, m2d symbolic.BlockMap, opt *Options, dir []upcxx.GlobalPtr, peers []*engine) *engine {
+	return &engine{
+		r: r, st: st, tg: tg, a: a, m2d: m2d, opt: opt, dir: dir, peers: peers,
+		owned:                make([][]float64, len(st.Blocks)),
+		depBlock:             make([]int32, len(st.Blocks)),
+		depUpdate:            make([]int32, len(tg.Updates)),
+		avail:                make([]*fetched, len(st.Blocks)),
+		updatesByLocalSource: make([][]int32, len(st.Blocks)),
+		localFOfSnode:        make([][]int32, len(st.Snodes)),
+	}
+}
+
+// mine reports whether this rank owns a block.
+func (e *engine) mine(b *symbolic.Block) bool { return symbolic.OwnerOfBlock(e.m2d, b) == e.r.ID }
+
+// setup allocates and assembles owned blocks, publishes their global
+// pointers, and initializes all dependency counters and queues.
+func (e *engine) setup() {
+	st, tg := e.st, e.tg
+	if e.opt.Scheduling == SchedCriticalPath {
+		e.chainDepth = chainDepths(st)
+	}
+	// Allocate owned blocks in the shared segment and publish pointers.
+	for bi := range st.Blocks {
+		b := &st.Blocks[bi]
+		if !e.mine(b) {
+			continue
+		}
+		m, n := blockDims(st, b)
+		g := e.r.NewArray(m * n)
+		e.owned[b.ID] = g.Data
+		e.dir[b.ID] = g
+		// D/F dependency counter: updates targeting the block, plus the
+		// diagonal factor for off-diagonal blocks.
+		dep := tg.InUpdates[b.ID]
+		if !b.IsDiag() {
+			dep++
+			e.localFOfSnode[b.Snode] = append(e.localFOfSnode[b.Snode], b.ID)
+		}
+		e.depBlock[b.ID] = dep
+		e.totalTasks++
+		if dep == 0 {
+			e.push(taskFor(b), b.ID)
+		}
+	}
+	// Update tasks execute at the target's owner.
+	for ui := range tg.Updates {
+		u := &tg.Updates[ui]
+		if !e.mine(&st.Blocks[u.Target]) {
+			continue
+		}
+		deps := int32(2)
+		if u.IsSyrk() {
+			deps = 1
+		}
+		e.depUpdate[int32(ui)] = deps
+		e.updatesByLocalSource[u.BlkA] = append(e.updatesByLocalSource[u.BlkA], int32(ui))
+		if u.BlkB != u.BlkA {
+			e.updatesByLocalSource[u.BlkB] = append(e.updatesByLocalSource[u.BlkB], int32(ui))
+		}
+		e.totalTasks++
+	}
+	e.assemble()
+}
+
+func taskFor(b *symbolic.Block) taskKind {
+	if b.IsDiag() {
+		return taskDiag
+	}
+	return taskFactor
+}
+
+// assemble scatters the permuted matrix entries into the owned blocks.
+func (e *engine) assemble() {
+	st, a := e.st, e.a
+	for j := 0; j < a.N; j++ {
+		k := st.SnOf[j]
+		sn := &st.Snodes[k]
+		col := int(int32(j) - sn.FirstCol)
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			r := a.RowInd[p]
+			rsn := st.SnOf[r]
+			bid := st.FindBlock(rsn, k)
+			if bid < 0 {
+				panic(fmt.Sprintf("core: entry (%d,%d) outside symbolic structure", r, j))
+			}
+			data := e.owned[st.Blocks[bid].ID]
+			if data == nil {
+				continue // another rank's block
+			}
+			b := &st.Blocks[bid]
+			pos := e.rowPosInBlock(b, r)
+			data[pos+col*int(b.NRows)] = a.Val[p]
+		}
+	}
+}
+
+// rowPosInBlock locates global row r within a block's row list.
+func (e *engine) rowPosInBlock(b *symbolic.Block, r int32) int {
+	sn := &e.st.Snodes[b.Snode]
+	rows := sn.Rows[b.RowOff : b.RowOff+b.NRows]
+	lo, hi := 0, len(rows)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if rows[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(rows) || rows[lo] != r {
+		panic(fmt.Sprintf("core: row %d not in block %d", r, b.ID))
+	}
+	return lo
+}
+
+func (e *engine) push(kind taskKind, id int32) {
+	e.rtq = append(e.rtq, task{kind: kind, id: id})
+}
+
+// chainDepths returns, per supernode, the length of its ancestor chain in
+// the supernodal elimination tree.
+func chainDepths(st *symbolic.Structure) []int32 {
+	nsn := len(st.Snodes)
+	depth := make([]int32, nsn)
+	// Supernodal parents have higher indices, so a reverse sweep sees
+	// every parent before its children.
+	for k := nsn - 1; k >= 0; k-- {
+		if p := st.SnParent[k]; p != -1 {
+			depth[k] = depth[p] + 1
+		}
+	}
+	return depth
+}
+
+// taskSupernode returns the supernode a task advances, for prioritization.
+func (e *engine) taskSupernode(t task) int32 {
+	if t.kind == taskUpdate {
+		return e.st.Blocks[e.tg.Updates[t.id].Target].Snode
+	}
+	return e.st.Blocks[t.id].Snode
+}
+
+// pop removes the next task from the RTQ according to the scheduling
+// policy.
+func (e *engine) pop() task {
+	switch e.opt.Scheduling {
+	case SchedLIFO:
+		t := e.rtq[len(e.rtq)-1]
+		e.rtq = e.rtq[:len(e.rtq)-1]
+		return t
+	case SchedCriticalPath:
+		best := 0
+		bestDepth := e.chainDepth[e.taskSupernode(e.rtq[0])]
+		for i := 1; i < len(e.rtq); i++ {
+			if d := e.chainDepth[e.taskSupernode(e.rtq[i])]; d > bestDepth {
+				best, bestDepth = i, d
+			}
+		}
+		t := e.rtq[best]
+		e.rtq = append(e.rtq[:best], e.rtq[best+1:]...)
+		return t
+	default: // SchedFIFO
+		t := e.rtq[0]
+		e.rtq = e.rtq[1:]
+		return t
+	}
+}
+
+// factorLoop is the main scheduling loop of paper Fig. 3: poll for incoming
+// notifications, then run a ready task; repeat until all local tasks are
+// done or the job aborts.
+func (e *engine) factorLoop() {
+	rt := e.r.Runtime()
+	idle := 0
+	for e.doneTasks < e.totalTasks {
+		if rt.ShouldAbort() {
+			return
+		}
+		e.poll()
+		if len(e.rtq) == 0 {
+			idle++
+			if idle > 256 {
+				time.Sleep(20 * time.Microsecond)
+			} else {
+				runtime.Gosched()
+			}
+			continue
+		}
+		idle = 0
+		e.execute(e.pop())
+		if e.progress != nil {
+			e.progress.Add(1)
+		}
+	}
+}
+
+// poll drains the RPC queue (which enqueues announced block ids into the
+// inbox) and then fetches each announced block with a one-sided get,
+// updating dependency counters — paper Fig. 4 steps 2–6.
+func (e *engine) poll() {
+	e.r.Progress()
+	if len(e.inbox) == 0 {
+		return
+	}
+	inbox := e.inbox
+	e.inbox = nil
+	for _, bid := range inbox {
+		e.acquire(bid)
+	}
+}
+
+// acquire makes a source block locally available (fetching it if remote)
+// and propagates dependency decrements.
+func (e *engine) acquire(bid int32) {
+	if e.avail[bid] != nil {
+		return
+	}
+	b := &e.st.Blocks[bid]
+	var fc fetched
+	if data := e.owned[bid]; data != nil {
+		fc.host = data
+	} else {
+		src := e.dir[bid]
+		// The paper's "GPU blocks" optimization: a large factorized
+		// diagonal block headed for GPU TRSMs is copied straight into
+		// device memory (remote host → local device, zero-copy under
+		// native memory kinds), skipping the host bounce.
+		m, n := blockDims(e.st, b)
+		if e.gpuEnabled() && b.IsDiag() && e.opt.Thresholds.ShouldOffload(machine.OpTrsm, m*n) {
+			if buf, err := e.r.Device().Alloc(m * n); err == nil {
+				dst := upcxx.GlobalPtr{Rank: int32(e.r.ID), Kind: simnet.Device, Data: buf.Data}
+				e.r.Copy(src, dst)
+				fc.dev = buf
+			} else {
+				e.oomFallbacks++
+			}
+		}
+		if fc.dev == nil {
+			fc.host = make([]float64, src.Len())
+			e.r.Rget(src, fc.host)
+		}
+	}
+	e.avail[bid] = &fc
+	if b.IsDiag() {
+		// Local panel blocks of this supernode lose their diagonal
+		// dependency.
+		for _, fbid := range e.localFOfSnode[b.Snode] {
+			e.decBlock(fbid)
+		}
+	}
+	// Updates consuming this block lose one source dependency.
+	for _, ui := range e.updatesByLocalSource[bid] {
+		e.depUpdate[ui]--
+		if e.depUpdate[ui] == 0 {
+			e.push(taskUpdate, ui)
+		}
+	}
+}
+
+// hostOf returns the host copy of an available block, materializing it from
+// the device mirror when the block was fetched device-direct.
+func (e *engine) hostOf(bid int32) []float64 {
+	fc := e.avail[bid]
+	if fc.host == nil {
+		fc.host = make([]float64, fc.dev.Len())
+		e.r.Charge(e.r.Device().DeviceToHost(fc.host, fc.dev))
+	}
+	return fc.host
+}
+
+func (e *engine) decBlock(bid int32) {
+	e.depBlock[bid]--
+	if e.depBlock[bid] == 0 {
+		e.push(taskFor(&e.st.Blocks[bid]), bid)
+	}
+}
+
+func (e *engine) gpuEnabled() bool { return e.r.Device() != nil }
+
+// execute dispatches one ready task, recording it when tracing is on.
+func (e *engine) execute(t task) {
+	tr := e.opt.Trace
+	start := tr.Begin()
+	switch t.kind {
+	case taskDiag:
+		e.runDiag(t.id)
+		tr.End(int32(e.r.ID), "D", start, fmt.Sprintf("sn=%d", e.st.Blocks[t.id].Snode))
+	case taskFactor:
+		e.runFactor(t.id)
+		tr.End(int32(e.r.ID), "F", start, fmt.Sprintf("blk=%d", t.id))
+	case taskUpdate:
+		e.runUpdate(t.id)
+		tr.End(int32(e.r.ID), "U", start, fmt.Sprintf("upd=%d", t.id))
+	}
+	e.doneTasks++
+}
+
+// announce notifies every rank holding tasks that consume block bid
+// (paper Fig. 4 step 1); the local rank is handled directly.
+func (e *engine) announce(bid int32, consumers map[int]bool) {
+	for rank := range consumers {
+		if rank == e.r.ID {
+			e.acquire(bid)
+			continue
+		}
+		b := bid
+		peers := e.peers
+		e.r.RPC(rank, func(target *upcxx.Rank) {
+			// Runs on the consumer inside Progress(): record the
+			// notification; the consumer's poll loop does the get.
+			peers[target.ID].inbox = append(peers[target.ID].inbox, b)
+		})
+	}
+}
+
+// runDiag executes D_k: POTRF of the diagonal block, then fan-out to the
+// panel owners.
+func (e *engine) runDiag(bid int32) {
+	st := e.st
+	b := &st.Blocks[bid]
+	data := e.owned[bid]
+	n, _ := blockDims(st, b)
+	var err error
+	if e.offload(machine.OpPotrf, n*n) {
+		err = e.gpuPotrf(n, data)
+	} else {
+		e.countCPU(machine.OpPotrf)
+		e.r.Charge(e.opt.Machine.CPUTime(machine.KernelFlops(machine.OpPotrf, 0, n, 0)))
+		err = blas.Potrf(blas.Lower, n, data, n)
+	}
+	if err != nil {
+		e.r.Runtime().Fail(fmt.Errorf("%w: supernode %d: %v", ErrNotPositiveDefinite, b.Snode, err))
+		return
+	}
+	// Consumers: owners of the off-diagonal blocks of this supernode.
+	consumers := map[int]bool{}
+	blks := st.SnodeBlocks(b.Snode)
+	for i := 1; i < len(blks); i++ {
+		consumers[symbolic.OwnerOfBlock(e.m2d, &blks[i])] = true
+	}
+	e.announce(bid, consumers)
+}
+
+// runFactor executes F_{i,k}: TRSM of an off-diagonal panel block against
+// the supernode's factorized diagonal, then fan-out to update owners.
+func (e *engine) runFactor(bid int32) {
+	st := e.st
+	b := &st.Blocks[bid]
+	data := e.owned[bid]
+	m, n := blockDims(st, b)
+	diagID := st.DiagBlock(b.Snode).ID
+	if e.offload(machine.OpTrsm, m*n) {
+		e.gpuTrsm(m, n, diagID, data)
+	} else {
+		e.countCPU(machine.OpTrsm)
+		e.r.Charge(e.opt.Machine.CPUTime(machine.KernelFlops(machine.OpTrsm, m, n, 0)))
+		diag := e.hostOf(diagID)
+		blas.Trsm(blas.Right, blas.Lower, blas.Transpose, m, n, 1, diag, n, data, m)
+	}
+	// Consumers: owners of the targets of every update using this block.
+	consumers := map[int]bool{}
+	for _, ui := range e.tg.UpdatesBySource[bid] {
+		u := &e.tg.Updates[ui]
+		consumers[symbolic.OwnerOfBlock(e.m2d, &st.Blocks[u.Target])] = true
+	}
+	e.announce(bid, consumers)
+}
+
+// runUpdate executes U_{i,j,k}: W = B_{i,j}·B_{k,j}ᵀ (SYRK when the blocks
+// coincide), scattered and subtracted from the target block.
+func (e *engine) runUpdate(ui int32) {
+	st := e.st
+	u := &e.tg.Updates[ui]
+	ba := &st.Blocks[u.BlkA] // B_{k,j}
+	bb := &st.Blocks[u.BlkB] // B_{i,j}
+	tb := &st.Blocks[u.Target]
+	tdata := e.owned[u.Target]
+
+	w := st.Snodes[u.SrcSn].NCols() // inner dimension
+	mB := int(bb.NRows)
+	nA := int(ba.NRows)
+	scratch := make([]float64, mB*nA)
+
+	syrk := u.IsSyrk()
+	hostA := e.hostOf(u.BlkA)
+	if syrk {
+		if e.offload(machine.OpSyrk, mB*nA) {
+			e.gpuSyrk(mB, w, hostA, scratch)
+		} else {
+			e.countCPU(machine.OpSyrk)
+			e.r.Charge(e.opt.Machine.CPUTime(machine.KernelFlops(machine.OpSyrk, mB, w, 0)))
+			blas.Syrk(blas.Lower, blas.NoTrans, mB, w, 1, hostA, mB, 0, scratch, mB)
+		}
+	} else {
+		hostB := e.hostOf(u.BlkB)
+		if e.offload(machine.OpGemm, mB*nA) {
+			e.gpuGemm(mB, nA, w, hostB, hostA, scratch)
+		} else {
+			e.countCPU(machine.OpGemm)
+			e.r.Charge(e.opt.Machine.CPUTime(machine.KernelFlops(machine.OpGemm, mB, nA, w)))
+			blas.Gemm(blas.NoTrans, blas.Transpose, mB, nA, w, 1, hostB, mB, hostA, nA, 0, scratch, mB)
+		}
+	}
+
+	// Scatter-subtract into the target block. Row positions come from the
+	// source row lists; column positions are the A-block rows relative to
+	// the target supernode's first column.
+	snj := &st.Snodes[u.SrcSn]
+	snk := &st.Snodes[tb.Snode]
+	rowsB := snj.Rows[bb.RowOff : bb.RowOff+bb.NRows]
+	rowsA := snj.Rows[ba.RowOff : ba.RowOff+ba.NRows]
+	ldT := int(tb.NRows)
+	rpos := make([]int, mB)
+	for x, r := range rowsB {
+		rpos[x] = e.rowPosInBlock(tb, r)
+	}
+	for y, c := range rowsA {
+		colT := int(c - snk.FirstCol)
+		colBase := colT * ldT
+		wcol := scratch[y*mB : y*mB+mB]
+		if syrk {
+			// Only the lower triangle of scratch is populated.
+			for x := y; x < mB; x++ {
+				tdata[rpos[x]+colBase] -= wcol[x]
+			}
+		} else {
+			for x := 0; x < mB; x++ {
+				tdata[rpos[x]+colBase] -= wcol[x]
+			}
+		}
+	}
+	e.decBlock(u.Target)
+}
+
+// -------------------------------------------------------- GPU execution ----
+
+// offload decides CPU vs GPU for an operation with an output of `elems`
+// elements (§4.2's per-op size heuristic).
+func (e *engine) offload(op machine.Op, elems int) bool {
+	return e.gpuEnabled() && e.opt.Thresholds.ShouldOffload(op, elems)
+}
+
+func (e *engine) countCPU(op machine.Op) { e.ops.CPU[op]++ }
+func (e *engine) countGPU(op machine.Op) { e.ops.GPU[op]++ }
+
+// fallbackCPU handles a device OOM according to policy, returning true when
+// the caller should run the CPU path.
+func (e *engine) fallbackCPU(err error) bool {
+	if e.opt.Fallback == gpu.FallbackError {
+		e.r.Runtime().Fail(fmt.Errorf("core: device allocation failed and fallback=error: %w", err))
+		return false
+	}
+	e.oomFallbacks++
+	return true
+}
+
+func (e *engine) gpuPotrf(n int, data []float64) error {
+	d := e.r.Device()
+	buf, err := d.Alloc(n * n)
+	if err != nil {
+		if !e.fallbackCPU(err) {
+			return nil // job is aborting
+		}
+		e.countCPU(machine.OpPotrf)
+		e.r.Charge(e.opt.Machine.CPUTime(machine.KernelFlops(machine.OpPotrf, 0, n, 0)))
+		return blas.Potrf(blas.Lower, n, data, n)
+	}
+	defer d.Free(buf)
+	e.r.Charge(d.HostToDevice(buf, data))
+	dt, kerr := d.Potrf(n, buf, n)
+	e.r.Charge(dt)
+	if kerr != nil {
+		return kerr
+	}
+	e.r.Charge(d.DeviceToHost(data, buf))
+	e.countGPU(machine.OpPotrf)
+	return nil
+}
+
+func (e *engine) gpuTrsm(m, n int, diagID int32, data []float64) {
+	d := e.r.Device()
+	// Reuse a device-resident diagonal when the fetch already placed it
+	// there (GPU-blocks optimization); otherwise stage it now.
+	fc := e.avail[diagID]
+	var diagBuf *gpu.Buffer
+	ownDiag := false
+	if fc != nil && fc.dev != nil {
+		diagBuf = fc.dev
+	} else {
+		host := e.hostOf(diagID)
+		buf, err := d.Alloc(len(host))
+		if err != nil {
+			if !e.fallbackCPU(err) {
+				return
+			}
+			e.cpuTrsm(m, n, diagID, data)
+			return
+		}
+		diagBuf = buf
+		ownDiag = true
+		e.r.Charge(d.HostToDevice(buf, host))
+	}
+	bBuf, err := d.Alloc(m * n)
+	if err != nil {
+		if ownDiag {
+			d.Free(diagBuf)
+		}
+		if !e.fallbackCPU(err) {
+			return
+		}
+		e.cpuTrsm(m, n, diagID, data)
+		return
+	}
+	e.r.Charge(d.HostToDevice(bBuf, data))
+	e.r.Charge(d.Trsm(m, n, diagBuf, n, bBuf, m))
+	e.r.Charge(d.DeviceToHost(data, bBuf))
+	d.Free(bBuf)
+	if ownDiag {
+		d.Free(diagBuf)
+	}
+	e.countGPU(machine.OpTrsm)
+}
+
+func (e *engine) cpuTrsm(m, n int, diagID int32, data []float64) {
+	e.countCPU(machine.OpTrsm)
+	e.r.Charge(e.opt.Machine.CPUTime(machine.KernelFlops(machine.OpTrsm, m, n, 0)))
+	diag := e.hostOf(diagID)
+	blas.Trsm(blas.Right, blas.Lower, blas.Transpose, m, n, 1, diag, n, data, m)
+}
+
+func (e *engine) gpuSyrk(n, k int, a, scratch []float64) {
+	d := e.r.Device()
+	aBuf, err1 := d.Alloc(len(a))
+	if err1 != nil {
+		if e.fallbackCPU(err1) {
+			e.countCPU(machine.OpSyrk)
+			e.r.Charge(e.opt.Machine.CPUTime(machine.KernelFlops(machine.OpSyrk, n, k, 0)))
+			blas.Syrk(blas.Lower, blas.NoTrans, n, k, 1, a, n, 0, scratch, n)
+		}
+		return
+	}
+	cBuf, err2 := d.Alloc(len(scratch))
+	if err2 != nil {
+		d.Free(aBuf)
+		if e.fallbackCPU(err2) {
+			e.countCPU(machine.OpSyrk)
+			e.r.Charge(e.opt.Machine.CPUTime(machine.KernelFlops(machine.OpSyrk, n, k, 0)))
+			blas.Syrk(blas.Lower, blas.NoTrans, n, k, 1, a, n, 0, scratch, n)
+		}
+		return
+	}
+	e.r.Charge(d.HostToDevice(aBuf, a))
+	e.r.Charge(d.Syrk(n, k, aBuf, n, cBuf, n))
+	e.r.Charge(d.DeviceToHost(scratch, cBuf))
+	d.Free(aBuf)
+	d.Free(cBuf)
+	e.countGPU(machine.OpSyrk)
+}
+
+func (e *engine) gpuGemm(m, n, k int, b, a, scratch []float64) {
+	d := e.r.Device()
+	cpu := func() {
+		e.countCPU(machine.OpGemm)
+		e.r.Charge(e.opt.Machine.CPUTime(machine.KernelFlops(machine.OpGemm, m, n, k)))
+		blas.Gemm(blas.NoTrans, blas.Transpose, m, n, k, 1, b, m, a, n, 0, scratch, m)
+	}
+	bBuf, err := d.Alloc(len(b))
+	if err != nil {
+		if e.fallbackCPU(err) {
+			cpu()
+		}
+		return
+	}
+	aBuf, err := d.Alloc(len(a))
+	if err != nil {
+		d.Free(bBuf)
+		if e.fallbackCPU(err) {
+			cpu()
+		}
+		return
+	}
+	cBuf, err := d.Alloc(len(scratch))
+	if err != nil {
+		d.Free(bBuf)
+		d.Free(aBuf)
+		if e.fallbackCPU(err) {
+			cpu()
+		}
+		return
+	}
+	e.r.Charge(d.HostToDevice(bBuf, b))
+	e.r.Charge(d.HostToDevice(aBuf, a))
+	e.r.Charge(d.Gemm(m, n, k, bBuf, m, aBuf, n, cBuf, m))
+	e.r.Charge(d.DeviceToHost(scratch, cBuf))
+	d.Free(bBuf)
+	d.Free(aBuf)
+	d.Free(cBuf)
+	e.countGPU(machine.OpGemm)
+}
+
+// ErrInternal flags invariant violations.
+var ErrInternal = errors.New("core: internal error")

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sympack/internal/gen"
+	"sympack/internal/machine"
+	"sympack/internal/symbolic"
+	"sympack/internal/trace"
+	"sympack/internal/upcxx"
+)
+
+// All scheduling policies must produce numerically identical factors: the
+// policy changes execution order, never the mathematics.
+func TestSchedulingPoliciesAgree(t *testing.T) {
+	a := gen.Bone3D(6, 6, 6, 0.3, 4)
+	var ref *Factor
+	for _, pol := range []SchedulingPolicy{SchedFIFO, SchedLIFO, SchedCriticalPath} {
+		f, err := Factorize(a, Options{Ranks: 4, Scheduling: pol})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if ref == nil {
+			ref = f
+			continue
+		}
+		for bid := range f.Data {
+			for i := range f.Data[bid] {
+				if d := math.Abs(f.Data[bid][i] - ref.Data[bid][i]); d > 1e-9 {
+					t.Fatalf("%v: block %d differs by %g", pol, bid, d)
+				}
+			}
+		}
+	}
+}
+
+func TestSchedulingPoliciesSolve(t *testing.T) {
+	a := gen.Thermal2D(20, 20, 2, 5)
+	rng := rand.New(rand.NewSource(6))
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	for _, pol := range []SchedulingPolicy{SchedFIFO, SchedLIFO, SchedCriticalPath} {
+		f, err := Factorize(a, Options{Ranks: 3, Scheduling: pol})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		x, err := f.SolveDistributed(b)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if r := ResidualNorm(a, x, b); r > 1e-10 {
+			t.Fatalf("%v: residual %g", pol, r)
+		}
+	}
+}
+
+func TestChainDepths(t *testing.T) {
+	a := gen.Laplace2D(8, 8)
+	opt := Options{}.withDefaults()
+	st, _, err := symbolic.Analyze(a, opt.Ordering, *opt.Symbolic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth := chainDepths(st)
+	for k := range st.Snodes {
+		p := st.SnParent[k]
+		if p == -1 {
+			if depth[k] != 0 {
+				t.Fatalf("root supernode %d has depth %d", k, depth[k])
+			}
+		} else if depth[k] != depth[p]+1 {
+			t.Fatalf("supernode %d depth %d, parent %d depth %d", k, depth[k], p, depth[p])
+		}
+	}
+}
+
+func TestSchedulingPolicyString(t *testing.T) {
+	for _, pol := range []SchedulingPolicy{SchedFIFO, SchedLIFO, SchedCriticalPath} {
+		if pol.String() == "policy?" {
+			t.Fatalf("missing name for %d", pol)
+		}
+	}
+}
+
+// Both mappings must produce identical factors and working solves; the 1D
+// map exists only as the performance comparison of §3.3.
+func TestMappingKindsAgree(t *testing.T) {
+	a := gen.Flan3D(2, 2, 3, 4)
+	ref, err := Factorize(a, Options{Ranks: 4, Mapping: Map2DCyclic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Factorize(a, Options{Ranks: 4, Mapping: Map1DCols})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bid := range f.Data {
+		for i := range f.Data[bid] {
+			if d := math.Abs(f.Data[bid][i] - ref.Data[bid][i]); d > 1e-9 {
+				t.Fatalf("mapping changed numerics: block %d differs by %g", bid, d)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, err := f.SolveDistributed(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := ResidualNorm(a, x, b); r > 1e-10 {
+		t.Fatalf("1d-mapped solve residual %g", r)
+	}
+}
+
+func TestMappingKindString(t *testing.T) {
+	if Map2DCyclic.String() == "" || Map1DCols.String() == "" {
+		t.Fatal("mapping names")
+	}
+}
+
+func TestFactorizationTracing(t *testing.T) {
+	rec := trace.New()
+	a := gen.Laplace2D(10, 10)
+	f, err := Factorize(a, Options{Ranks: 3, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One event per task: D per supernode, F per off-diagonal block, U per
+	// update.
+	want := f.Stats.Supernodes + (f.Stats.Blocks - f.Stats.Supernodes) + f.Stats.Updates
+	if rec.Len() != want {
+		t.Fatalf("trace has %d events, want %d", rec.Len(), want)
+	}
+	sum := rec.Summary()
+	kinds := map[string]bool{}
+	for _, s := range sum {
+		kinds[s.Kind] = true
+	}
+	for _, k := range []string{"D", "F", "U"} {
+		if !kinds[k] {
+			t.Fatalf("missing kind %s in %v", k, sum)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty trace output")
+	}
+	if len(rec.RankUtilization()) == 0 {
+		t.Fatal("no utilization data")
+	}
+}
+
+// The watchdog must trip on a stalled runtime and stay quiet on a live one.
+func TestWatchdog(t *testing.T) {
+	rt, err := upcxx.NewRuntime(upcxx.Config{Ranks: 1, Machine: machine.Perlmutter()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progress atomic.Int64
+	stop := startWatchdog(rt, &progress, 10*time.Millisecond, func() string { return "diag" })
+	defer stop()
+	time.Sleep(40 * time.Millisecond)
+	if !rt.ShouldAbort() {
+		t.Fatal("watchdog did not trip on stalled progress")
+	}
+	if !errors.Is(rt.Err(), ErrStalled) {
+		t.Fatalf("err = %v", rt.Err())
+	}
+
+	// A progressing counter must not trip.
+	rt2, _ := upcxx.NewRuntime(upcxx.Config{Ranks: 1, Machine: machine.Perlmutter()})
+	var p2 atomic.Int64
+	stop2 := startWatchdog(rt2, &p2, 15*time.Millisecond, func() string { return "" })
+	for i := 0; i < 6; i++ {
+		p2.Add(1)
+		time.Sleep(8 * time.Millisecond)
+	}
+	stop2()
+	if rt2.ShouldAbort() {
+		t.Fatal("watchdog tripped despite progress")
+	}
+
+	// Disabled watchdog is a no-op.
+	rt3, _ := upcxx.NewRuntime(upcxx.Config{Ranks: 1, Machine: machine.Perlmutter()})
+	stop3 := startWatchdog(rt3, &p2, -1, func() string { return "" })
+	stop3()
+	if rt3.ShouldAbort() {
+		t.Fatal("disabled watchdog aborted")
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sympack/internal/blas"
+	"sympack/internal/gen"
+	"sympack/internal/matrix"
+)
+
+// denseInverse inverts a small SPD matrix via dense Cholesky solves.
+func denseInverse(t *testing.T, a *matrix.SparseSym) []float64 {
+	t.Helper()
+	n := a.N
+	d := a.Dense()
+	if err := blas.Potrf(blas.Lower, n, d, n); err != nil {
+		t.Fatal(err)
+	}
+	inv := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		col := inv[j*n : j*n+n]
+		col[j] = 1
+		blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, n, 1, 1, d, n, col, n)
+		blas.Trsm(blas.Left, blas.Lower, blas.Transpose, n, 1, 1, d, n, col, n)
+	}
+	return inv
+}
+
+func TestSelectedInverseDiagonal(t *testing.T) {
+	for name, a := range map[string]*matrix.SparseSym{
+		"laplace": gen.Laplace2D(7, 6),
+		"flan":    gen.Flan3D(2, 2, 2, 1),
+		"thermal": gen.Thermal2D(9, 9, 2, 3),
+		"random":  gen.RandomSPD(25, 0.2, 4),
+		"dense":   gen.RandomSPD(12, 1.0, 5),
+		"tiny":    gen.Laplace2D(1, 1),
+	} {
+		f, err := Factorize(a, Options{Ranks: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		si, err := f.SelectedInverse()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := denseInverse(t, a)
+		got := si.Diag()
+		for i := 0; i < a.N; i++ {
+			if d := math.Abs(got[i] - want[i+i*a.N]); d > 1e-8*(1+math.Abs(want[i+i*a.N])) {
+				t.Fatalf("%s: diag[%d] = %g, want %g", name, i, got[i], want[i+i*a.N])
+			}
+		}
+	}
+}
+
+func TestSelectedInverseEntries(t *testing.T) {
+	a := gen.Laplace2D(5, 5)
+	f, err := Factorize(a, Options{Ranks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := f.SelectedInverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.Nnz() < int64(a.N) {
+		t.Fatal("selected set smaller than the diagonal")
+	}
+	want := denseInverse(t, a)
+	found := 0
+	for i := 0; i < a.N; i++ {
+		for j := 0; j <= i; j++ {
+			v, ok := si.At(i, j)
+			if !ok {
+				continue
+			}
+			found++
+			if d := math.Abs(v - want[i+j*a.N]); d > 1e-8*(1+math.Abs(want[i+j*a.N])) {
+				t.Fatalf("Z(%d,%d) = %g, want %g", i, j, v, want[i+j*a.N])
+			}
+			// Symmetry of access.
+			v2, ok2 := si.At(j, i)
+			if !ok2 || v2 != v {
+				t.Fatalf("asymmetric access at (%d,%d)", i, j)
+			}
+		}
+	}
+	if found < a.N {
+		t.Fatalf("only %d selected entries found", found)
+	}
+}
+
+// Property: the selected diagonal matches the dense inverse for random SPD
+// matrices across rank counts.
+func TestSelectedInverseProperty(t *testing.T) {
+	f := func(seed int64, nRaw, pRaw uint8) bool {
+		n := int(nRaw%18) + 1
+		p := int(pRaw%4) + 1
+		a := gen.RandomSPD(n, 0.3, seed)
+		fac, err := Factorize(a, Options{Ranks: p})
+		if err != nil {
+			return false
+		}
+		si, err := fac.SelectedInverse()
+		if err != nil {
+			return false
+		}
+		// Spot-check: x = A⁻¹ e_i via solve; compare diagonal element.
+		rng := rand.New(rand.NewSource(seed))
+		i := rng.Intn(n)
+		e := make([]float64, n)
+		e[i] = 1
+		x, err := fac.Solve(e)
+		if err != nil {
+			return false
+		}
+		return math.Abs(si.Diag()[i]-x[i]) < 1e-7*(1+math.Abs(x[i]))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveRefined(t *testing.T) {
+	a := gen.Laplace2D(12, 12)
+	f, err := Factorize(a, Options{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, rel, iters, err := f.SolveRefined(a, b, 1e-15, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel > 1e-12 {
+		t.Fatalf("refined residual %g", rel)
+	}
+	if iters < 0 || iters > 5 {
+		t.Fatalf("iters = %d", iters)
+	}
+	if r := ResidualNorm(a, x, b); r > 1e-12 {
+		t.Fatalf("recomputed residual %g", r)
+	}
+	// Zero refinement budget must still produce a direct solve.
+	if _, _, iters, err := f.SolveRefined(a, b, 1e-30, 0); err != nil || iters != 0 {
+		t.Fatalf("zero-budget refine: iters=%d err=%v", iters, err)
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"sympack/internal/etree"
+	"sympack/internal/symbolic"
+)
+
+// Factor serialization: a versioned little-endian binary format carrying
+// everything Solve, SolveDistributed and SelectedInverse need — the
+// permutation, the supernode partition with its row structures, the block
+// layout and the numeric block data. Applications that factor once and
+// solve many times across process lifetimes (the PEXSI pattern) persist
+// the factor instead of recomputing it.
+
+const (
+	factorMagic   = uint32(0x53504b46) // "SPKF"
+	factorVersion = uint32(1)
+)
+
+// Save writes the factor to w.
+func (f *Factor) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	st := f.St
+	put := func(vs ...uint64) error {
+		for _, v := range vs {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := put(uint64(factorMagic), uint64(factorVersion), uint64(st.N),
+		uint64(len(st.Snodes)), uint64(len(st.Blocks))); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, st.Perm); err != nil {
+		return err
+	}
+	for k := range st.Snodes {
+		sn := &st.Snodes[k]
+		if err := put(uint64(sn.FirstCol), uint64(sn.LastCol), uint64(len(sn.Rows))); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, sn.Rows); err != nil {
+			return err
+		}
+	}
+	for bi := range st.Blocks {
+		b := &st.Blocks[bi]
+		if err := binary.Write(bw, binary.LittleEndian,
+			[4]int32{b.Snode, b.RowSn, b.RowOff, b.NRows}); err != nil {
+			return err
+		}
+	}
+	for bid := range f.Data {
+		if err := put(uint64(len(f.Data[bid]))); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, f.Data[bid]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadFactor reads a factor previously written by Save. The returned
+// factor solves and computes selected inverses; refactorization state
+// (Opt, Stats) is reset to defaults.
+func LoadFactor(r io.Reader) (*Factor, error) {
+	br := bufio.NewReader(r)
+	var header [5]uint64
+	if err := binary.Read(br, binary.LittleEndian, &header); err != nil {
+		return nil, fmt.Errorf("core: factor header: %w", err)
+	}
+	if uint32(header[0]) != factorMagic {
+		return nil, fmt.Errorf("core: not a factor file (magic %x)", header[0])
+	}
+	if uint32(header[1]) != factorVersion {
+		return nil, fmt.Errorf("core: unsupported factor version %d", header[1])
+	}
+	n := int(header[2])
+	nsn := int(header[3])
+	nblk := int(header[4])
+	if n < 0 || nsn < 0 || nblk < nsn {
+		return nil, fmt.Errorf("core: corrupt factor sizes n=%d nsn=%d nblk=%d", n, nsn, nblk)
+	}
+	st := &symbolic.Structure{N: n, Perm: make([]int32, n)}
+	if err := binary.Read(br, binary.LittleEndian, st.Perm); err != nil {
+		return nil, fmt.Errorf("core: factor perm: %w", err)
+	}
+	st.Snodes = make([]symbolic.Supernode, nsn)
+	st.SnOf = make([]int32, n)
+	for k := 0; k < nsn; k++ {
+		var dims [3]uint64
+		if err := binary.Read(br, binary.LittleEndian, &dims); err != nil {
+			return nil, fmt.Errorf("core: supernode %d: %w", k, err)
+		}
+		sn := &st.Snodes[k]
+		sn.ID = int32(k)
+		sn.FirstCol = int32(dims[0])
+		sn.LastCol = int32(dims[1])
+		if sn.FirstCol < 0 || sn.LastCol < sn.FirstCol || int(sn.LastCol) >= n {
+			return nil, fmt.Errorf("core: supernode %d range corrupt", k)
+		}
+		sn.Rows = make([]int32, dims[2])
+		if err := binary.Read(br, binary.LittleEndian, sn.Rows); err != nil {
+			return nil, fmt.Errorf("core: supernode %d rows: %w", k, err)
+		}
+		for c := sn.FirstCol; c <= sn.LastCol; c++ {
+			st.SnOf[c] = int32(k)
+		}
+	}
+	st.Blocks = make([]symbolic.Block, nblk)
+	st.BlockPtr = make([]int32, nsn+1)
+	prevSn := int32(-1)
+	for bi := 0; bi < nblk; bi++ {
+		var vals [4]int32
+		if err := binary.Read(br, binary.LittleEndian, &vals); err != nil {
+			return nil, fmt.Errorf("core: block %d: %w", bi, err)
+		}
+		b := &st.Blocks[bi]
+		b.ID = int32(bi)
+		b.Snode, b.RowSn, b.RowOff, b.NRows = vals[0], vals[1], vals[2], vals[3]
+		if b.Snode < prevSn || int(b.Snode) >= nsn {
+			return nil, fmt.Errorf("core: block %d owner order corrupt", bi)
+		}
+		for sn := prevSn + 1; sn <= b.Snode; sn++ {
+			st.BlockPtr[sn] = int32(bi)
+		}
+		prevSn = b.Snode
+	}
+	for sn := prevSn + 1; sn <= int32(nsn); sn++ {
+		st.BlockPtr[sn] = int32(nblk)
+	}
+	// Rebuild the supernodal tree from the structures.
+	st.SnParent = make([]int32, nsn)
+	for k := 0; k < nsn; k++ {
+		sn := &st.Snodes[k]
+		if sn.NRows() == sn.NCols() {
+			st.SnParent[k] = -1
+		} else {
+			st.SnParent[k] = st.SnOf[sn.Rows[sn.NCols()]]
+		}
+	}
+	// A minimal elimination tree placeholder keeps Structure consumers
+	// that only need the fields above working; scalar parents are not
+	// persisted.
+	st.Tree = &etree.Tree{Parent: make([]int32, 0)}
+
+	f := &Factor{St: st, Opt: Options{}.withDefaults(), Data: make([][]float64, nblk)}
+	for bid := 0; bid < nblk; bid++ {
+		var ln uint64
+		if err := binary.Read(br, binary.LittleEndian, &ln); err != nil {
+			return nil, fmt.Errorf("core: block %d data length: %w", bid, err)
+		}
+		b := &st.Blocks[bid]
+		want := int(b.NRows) * st.Snodes[b.Snode].NCols()
+		if int(ln) != want {
+			return nil, fmt.Errorf("core: block %d data length %d, want %d", bid, ln, want)
+		}
+		f.Data[bid] = make([]float64, ln)
+		if err := binary.Read(br, binary.LittleEndian, f.Data[bid]); err != nil {
+			return nil, fmt.Errorf("core: block %d data: %w", bid, err)
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sympack/internal/gen"
+)
+
+func TestFactorSaveLoadRoundTrip(t *testing.T) {
+	a := gen.Bone3D(5, 5, 5, 0.3, 9)
+	f, err := Factorize(a, Options{Ranks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadFactor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structure equality.
+	if g.St.N != f.St.N || g.St.NumSupernodes() != f.St.NumSupernodes() || g.St.NumBlocks() != f.St.NumBlocks() {
+		t.Fatal("structure shape changed")
+	}
+	for bid := range f.Data {
+		for i := range f.Data[bid] {
+			if f.Data[bid][i] != g.Data[bid][i] {
+				t.Fatalf("block %d data changed at %d", bid, i)
+			}
+		}
+	}
+	// The loaded factor must solve.
+	rng := rand.New(rand.NewSource(10))
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x1, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := g.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatalf("loaded factor solves differently at %d", i)
+		}
+	}
+	// The loaded factor must run distributed solves and selected inversion.
+	xd, err := g.SolveDistributed(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := ResidualNorm(a, xd, b); r > 1e-10 {
+		t.Fatalf("loaded distributed solve residual %g", r)
+	}
+	si, err := g.SelectedInverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	siRef, err := f.SelectedInverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := siRef.Diag(), si.Diag()
+	for i := range d1 {
+		if math.Abs(d1[i]-d2[i]) > 1e-14 {
+			t.Fatalf("selected inverse diag differs at %d", i)
+		}
+	}
+}
+
+func TestLoadFactorRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("not a factor"),
+		make([]byte, 40), // zero magic
+	}
+	for i, c := range cases {
+		if _, err := LoadFactor(bytes.NewReader(c)); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+	// Truncated valid stream.
+	a := gen.Laplace2D(5, 5)
+	f, err := Factorize(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := LoadFactor(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sympack/internal/blas"
+)
+
+// Solve solves A·x = b for the original (unpermuted) right-hand side b,
+// returning x in the original ordering. It runs the supernodal forward and
+// backward substitutions over the factor blocks.
+func (f *Factor) Solve(b []float64) ([]float64, error) {
+	x, err := f.SolveMulti([][]float64{b})
+	if err != nil {
+		return nil, err
+	}
+	return x[0], nil
+}
+
+// SolveMulti solves A·X = B for multiple right-hand sides.
+func (f *Factor) SolveMulti(bs [][]float64) ([][]float64, error) {
+	st := f.St
+	n := st.N
+	out := make([][]float64, len(bs))
+	for ri, b := range bs {
+		if len(b) != n {
+			return nil, fmt.Errorf("core: rhs %d has length %d, want %d", ri, len(b), n)
+		}
+		// Permute into factor ordering: y[k] = b[perm[k]].
+		y := make([]float64, n)
+		for k := 0; k < n; k++ {
+			y[k] = b[st.Perm[k]]
+		}
+		f.forward(y)
+		f.backward(y)
+		// Permute back.
+		x := make([]float64, n)
+		for k := 0; k < n; k++ {
+			x[st.Perm[k]] = y[k]
+		}
+		out[ri] = x
+	}
+	return out, nil
+}
+
+// forward solves L·y = b in place over the supernodal blocks.
+func (f *Factor) forward(y []float64) {
+	st := f.St
+	for k := 0; k < st.NumSupernodes(); k++ {
+		sn := &st.Snodes[k]
+		nc := sn.NCols()
+		blks := st.SnodeBlocks(int32(k))
+		diag := f.Data[blks[0].ID]
+		// y_k ← L_kk⁻¹ y_k (dense forward substitution).
+		yk := y[sn.FirstCol : int(sn.FirstCol)+nc]
+		blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, nc, 1, 1, diag, nc, yk, nc)
+		// Panel updates: y_rows ← y_rows − L_{i,k} · y_k.
+		for bi := 1; bi < len(blks); bi++ {
+			blk := &blks[bi]
+			data := f.Data[blk.ID]
+			m := int(blk.NRows)
+			rows := sn.Rows[blk.RowOff : blk.RowOff+blk.NRows]
+			for c := 0; c < nc; c++ {
+				t := yk[c]
+				if t == 0 {
+					continue
+				}
+				col := data[c*m : c*m+m]
+				for x := 0; x < m; x++ {
+					y[rows[x]] -= col[x] * t
+				}
+			}
+		}
+	}
+}
+
+// backward solves Lᵀ·x = y in place over the supernodal blocks.
+func (f *Factor) backward(y []float64) {
+	st := f.St
+	for k := st.NumSupernodes() - 1; k >= 0; k-- {
+		sn := &st.Snodes[k]
+		nc := sn.NCols()
+		blks := st.SnodeBlocks(int32(k))
+		yk := y[sn.FirstCol : int(sn.FirstCol)+nc]
+		// Gather panel contributions: y_k ← y_k − Σ L_{i,k}ᵀ x_rows.
+		for bi := 1; bi < len(blks); bi++ {
+			blk := &blks[bi]
+			data := f.Data[blk.ID]
+			m := int(blk.NRows)
+			rows := sn.Rows[blk.RowOff : blk.RowOff+blk.NRows]
+			for c := 0; c < nc; c++ {
+				col := data[c*m : c*m+m]
+				var s float64
+				for x := 0; x < m; x++ {
+					s += col[x] * y[rows[x]]
+				}
+				yk[c] -= s
+			}
+		}
+		// x_k ← L_kk⁻ᵀ y_k (dense backward substitution).
+		diag := f.Data[blks[0].ID]
+		blas.Trsm(blas.Left, blas.Lower, blas.Transpose, nc, 1, 1, diag, nc, yk, nc)
+	}
+}
+
+// ResidualNorm returns ‖b − A·x‖₂ / ‖b‖₂ for the original matrix a, a
+// convenience for examples and tests.
+func ResidualNorm(a interface{ MulVecTo(y, x []float64) }, x, b []float64) float64 {
+	ax := make([]float64, len(x))
+	a.MulVecTo(ax, x)
+	var rr, bb float64
+	for i := range b {
+		d := b[i] - ax[i]
+		rr += d * d
+		bb += b[i] * b[i]
+	}
+	if bb == 0 {
+		return math.Sqrt(rr)
+	}
+	return math.Sqrt(rr / bb)
+}

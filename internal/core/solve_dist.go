@@ -1,0 +1,434 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"sympack/internal/blas"
+	"sympack/internal/simnet"
+	"sympack/internal/symbolic"
+	"sympack/internal/upcxx"
+)
+
+// SolveDistributed solves A·x = b with the supernodal triangular solves
+// executed across the factorization's rank layout: forward substitution
+// fans each solved supernode segment out to its panel-block owners, whose
+// contributions fan in (as aggregate vectors, §2.3's second message kind)
+// to the diagonal owners of the target supernodes; the backward pass runs
+// the mirror-image dataflow. Communication uses the same RPC-notification
+// machinery as the factorization.
+func (f *Factor) SolveDistributed(b []float64) ([]float64, error) {
+	st := f.St
+	n := st.N
+	if len(b) != n {
+		return nil, fmt.Errorf("core: rhs length %d, want %d", len(b), n)
+	}
+	opt := f.Opt
+	rt, err := upcxx.NewRuntime(upcxx.Config{
+		Ranks:        opt.Ranks,
+		RanksPerNode: opt.RanksPerNode,
+		GPUsPerNode:  opt.GPUsPerNode,
+		Machine:      *opt.Machine,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m2d := blockMapFor(opt.Mapping, opt.Ranks)
+
+	// Permute the RHS into factor ordering (read-only shared).
+	bp := make([]float64, n)
+	for k := 0; k < n; k++ {
+		bp[k] = b[st.Perm[k]]
+	}
+	// Output in factor ordering; each position written by exactly one
+	// diagonal owner, read after the final barrier.
+	xp := make([]float64, n)
+
+	// Global reverse index: blocks grouped by their row supernode,
+	// excluding diagonal blocks (needed by the backward fan-out).
+	blocksByRowSn := make([][]int32, st.NumSupernodes())
+	for bi := range st.Blocks {
+		bl := &st.Blocks[bi]
+		if !bl.IsDiag() {
+			blocksByRowSn[bl.RowSn] = append(blocksByRowSn[bl.RowSn], bl.ID)
+		}
+	}
+
+	engines := make([]*solveEngine, opt.Ranks)
+	start := time.Now()
+	err = rt.Run(func(r *upcxx.Rank) {
+		e := newSolveEngine(r, f, m2d, bp, xp, blocksByRowSn, engines)
+		engines[r.ID] = e
+		e.setup()
+		if err := r.Barrier(); err != nil {
+			return
+		}
+		e.loop()
+		_ = r.Barrier()
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.SolveStats.Wall = time.Since(start)
+	f.SolveStats.ModelSeconds = 0
+	for _, e := range engines {
+		if s := e.r.Elapsed(); s > f.SolveStats.ModelSeconds {
+			f.SolveStats.ModelSeconds = s
+		}
+	}
+	// Permute back to the original ordering.
+	x := make([]float64, n)
+	for k := 0; k < n; k++ {
+		x[st.Perm[k]] = xp[k]
+	}
+	return x, nil
+}
+
+// SolveDistributedMulti runs the distributed solve for several right-hand
+// sides in sequence, reusing the factor.
+func (f *Factor) SolveDistributedMulti(bs [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(bs))
+	for i, b := range bs {
+		x, err := f.SolveDistributed(b)
+		if err != nil {
+			return nil, fmt.Errorf("core: rhs %d: %w", i, err)
+		}
+		out[i] = x
+	}
+	return out, nil
+}
+
+// solveTask identifies one unit of solve work on a rank.
+type solveTask struct {
+	kind solveTaskKind
+	id   int32 // supernode for diag tasks, block id for panel tasks
+}
+
+type solveTaskKind uint8
+
+const (
+	fwdDiag solveTaskKind = iota // y_k = L_kk⁻¹ b_k
+	fwdBlk                       // contribution L_{i,k}·y_k → supernode i
+	bwdDiag                      // x_k = L_kkᵀ⁻¹ (y_k − Σ contributions)
+	bwdBlk                       // contribution L_{i,k}ᵀ·x_i → supernode k
+)
+
+type solveEngine struct {
+	r     *upcxx.Rank
+	f     *Factor
+	st    *symbolic.Structure
+	m2d   symbolic.BlockMap
+	bp    []float64 // shared read-only permuted RHS
+	xp    []float64 // shared output (disjoint writes per diag owner)
+	byRow [][]int32
+	peers []*solveEngine
+
+	// Diagonal-owner state, keyed by supernode.
+	bk       map[int32][]float64 // accumulating RHS segment
+	yk       map[int32][]float64 // forward solution segment
+	xk       map[int32][]float64 // backward solution segment
+	fwdCount map[int32]int32     // remaining incoming forward contributions
+	bwdCount map[int32]int32     // remaining contributions + own forward
+
+	// Panel-owner state: solved segments received for consumption.
+	ySeg map[int32][]float64 // supernode → y_k (for fwdBlk of column k)
+	xSeg map[int32][]float64 // supernode → x_i (for bwdBlk with RowSn i)
+
+	rtq   []solveTask
+	total int
+	done  int
+}
+
+// segOwner returns the rank owning supernode k's RHS segment. Segments are
+// distributed 1D-cyclically: the 2D block map would place every diagonal
+// block on the process grid's diagonal (few distinct ranks), serializing
+// the solve's diagonal chain.
+func (e *solveEngine) segOwner(k int32) int { return int(k) % len(e.peers) }
+
+func newSolveEngine(r *upcxx.Rank, f *Factor, m2d symbolic.BlockMap, bp, xp []float64, byRow [][]int32, peers []*solveEngine) *solveEngine {
+	return &solveEngine{
+		r: r, f: f, st: f.St, m2d: m2d, bp: bp, xp: xp, byRow: byRow, peers: peers,
+		bk: map[int32][]float64{}, yk: map[int32][]float64{}, xk: map[int32][]float64{},
+		fwdCount: map[int32]int32{}, bwdCount: map[int32]int32{},
+		ySeg: map[int32][]float64{}, xSeg: map[int32][]float64{},
+	}
+}
+
+// setup initializes counters and seeds ready tasks.
+func (e *solveEngine) setup() {
+	st := e.st
+	for k := 0; k < st.NumSupernodes(); k++ {
+		kk := int32(k)
+		ownDiag := e.segOwner(kk) == e.r.ID
+		nOff := len(st.SnodeBlocks(kk)) - 1
+		if ownDiag {
+			sn := &st.Snodes[k]
+			seg := make([]float64, sn.NCols())
+			copy(seg, e.bp[sn.FirstCol:int(sn.FirstCol)+sn.NCols()])
+			e.bk[kk] = seg
+			e.fwdCount[kk] = int32(len(e.byRow[k])) // blocks feeding this supernode
+			e.bwdCount[kk] = int32(nOff) + 1        // column blocks + own forward
+			e.total += 2                            // fwdDiag + bwdDiag
+			if e.fwdCount[kk] == 0 {
+				e.push(fwdDiag, kk)
+			}
+		}
+	}
+	for bi := range st.Blocks {
+		bl := &st.Blocks[bi]
+		if bl.IsDiag() || symbolic.OwnerOfBlock(e.m2d, bl) != e.r.ID {
+			continue
+		}
+		e.total += 2 // fwdBlk + bwdBlk
+	}
+}
+
+func (e *solveEngine) push(kind solveTaskKind, id int32) {
+	e.rtq = append(e.rtq, solveTask{kind: kind, id: id})
+}
+
+func (e *solveEngine) loop() {
+	rt := e.r.Runtime()
+	idle := 0
+	for e.done < e.total {
+		if rt.ShouldAbort() {
+			return
+		}
+		e.r.Progress()
+		if len(e.rtq) == 0 {
+			idle++
+			if idle > 256 {
+				time.Sleep(20 * time.Microsecond)
+			} else {
+				runtime.Gosched()
+			}
+			continue
+		}
+		idle = 0
+		t := e.rtq[0]
+		e.rtq = e.rtq[1:]
+		e.execute(t)
+		e.done++
+	}
+}
+
+func (e *solveEngine) execute(t solveTask) {
+	switch t.kind {
+	case fwdDiag:
+		e.runFwdDiag(t.id)
+	case fwdBlk:
+		e.runFwdBlk(t.id)
+	case bwdDiag:
+		e.runBwdDiag(t.id)
+	case bwdBlk:
+		e.runBwdBlk(t.id)
+	}
+}
+
+// runFwdDiag solves y_k = L_kk⁻¹ b_k and fans y_k out to the owners of the
+// supernode's panel blocks.
+func (e *solveEngine) runFwdDiag(k int32) {
+	st := e.st
+	sn := &st.Snodes[k]
+	nc := sn.NCols()
+	diag := e.f.Data[st.DiagBlock(k).ID]
+	seg := e.bk[k]
+	blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, nc, 1, 1, diag, nc, seg, nc)
+	e.r.Charge(e.f.Opt.Machine.CPUTime(int64(nc) * int64(nc)))
+	e.yk[k] = seg
+	// Local backward dependency: y_k is one of bwdDiag's inputs.
+	e.decBwd(k)
+	// Fan out to panel owners (dedup ranks; deliver locally without RPC).
+	blks := st.SnodeBlocks(k)
+	sent := map[int]bool{}
+	for bi := 1; bi < len(blks); bi++ {
+		owner := symbolic.OwnerOfBlock(e.m2d, &blks[bi])
+		if sent[owner] {
+			continue
+		}
+		sent[owner] = true
+		seg := seg
+		kk := k
+		if owner == e.r.ID {
+			e.deliverY(kk, seg)
+			continue
+		}
+		peers := e.peers
+		e.r.RPC(owner, func(tr *upcxx.Rank) {
+			peers[tr.ID].deliverY(kk, seg)
+		})
+		chargeMsg(e.r, owner, int64(nc)*8)
+	}
+}
+
+// deliverY records a received forward segment and releases the local panel
+// blocks of column supernode k.
+func (e *solveEngine) deliverY(k int32, seg []float64) {
+	e.ySeg[k] = seg
+	blks := e.st.SnodeBlocks(k)
+	for bi := 1; bi < len(blks); bi++ {
+		if symbolic.OwnerOfBlock(e.m2d, &blks[bi]) == e.r.ID {
+			e.push(fwdBlk, blks[bi].ID)
+		}
+	}
+}
+
+// runFwdBlk computes c = L_{i,k}·y_k and sends it to supernode i's
+// diagonal owner as an aggregate vector.
+func (e *solveEngine) runFwdBlk(bid int32) {
+	st := e.st
+	bl := &st.Blocks[bid]
+	sn := &st.Snodes[bl.Snode]
+	nc := sn.NCols()
+	m := int(bl.NRows)
+	data := e.f.Data[bid]
+	y := e.ySeg[bl.Snode]
+	c := make([]float64, m)
+	for col := 0; col < nc; col++ {
+		t := y[col]
+		if t == 0 {
+			continue
+		}
+		colv := data[col*m : col*m+m]
+		for x := 0; x < m; x++ {
+			c[x] += colv[x] * t
+		}
+	}
+	e.r.Charge(e.f.Opt.Machine.CPUTime(2 * int64(m) * int64(nc)))
+	// Rows of the block relative to the target supernode's columns.
+	rows := sn.Rows[bl.RowOff : bl.RowOff+bl.NRows]
+	tgt := bl.RowSn
+	fcT := st.Snodes[tgt].FirstCol
+	pos := make([]int32, m)
+	for x, r := range rows {
+		pos[x] = r - fcT
+	}
+	owner := e.segOwner(tgt)
+	if owner == e.r.ID {
+		e.applyFwd(tgt, pos, c)
+		return
+	}
+	peers := e.peers
+	e.r.RPC(owner, func(tr *upcxx.Rank) {
+		peers[tr.ID].applyFwd(tgt, pos, c)
+	})
+	chargeMsg(e.r, owner, int64(m)*8)
+}
+
+// applyFwd folds a forward contribution into b_k and schedules the
+// diagonal solve when all contributions have arrived.
+func (e *solveEngine) applyFwd(k int32, pos []int32, c []float64) {
+	seg := e.bk[k]
+	for x := range c {
+		seg[pos[x]] -= c[x]
+	}
+	e.fwdCount[k]--
+	if e.fwdCount[k] == 0 {
+		e.push(fwdDiag, k)
+	}
+}
+
+// runBwdDiag computes x_k = L_kk⁻ᵀ y_k (contributions already folded in),
+// publishes it, and fans x_k out to the owners of every block whose rows
+// live in supernode k.
+func (e *solveEngine) runBwdDiag(k int32) {
+	st := e.st
+	sn := &st.Snodes[k]
+	nc := sn.NCols()
+	diag := e.f.Data[st.DiagBlock(k).ID]
+	seg := e.yk[k]
+	blas.Trsm(blas.Left, blas.Lower, blas.Transpose, nc, 1, 1, diag, nc, seg, nc)
+	e.r.Charge(e.f.Opt.Machine.CPUTime(int64(nc) * int64(nc)))
+	e.xk[k] = seg
+	copy(e.xp[sn.FirstCol:int(sn.FirstCol)+nc], seg)
+	// Fan out to the owners of blocks with RowSn == k.
+	sent := map[int]bool{}
+	for _, bid := range e.byRow[k] {
+		owner := symbolic.OwnerOfBlock(e.m2d, &st.Blocks[bid])
+		if sent[owner] {
+			continue
+		}
+		sent[owner] = true
+		kk := k
+		if owner == e.r.ID {
+			e.deliverX(kk, seg)
+			continue
+		}
+		peers := e.peers
+		e.r.RPC(owner, func(tr *upcxx.Rank) {
+			peers[tr.ID].deliverX(kk, seg)
+		})
+		chargeMsg(e.r, owner, int64(nc)*8)
+	}
+}
+
+// deliverX records a received backward segment and releases the local
+// blocks whose rows live in supernode i.
+func (e *solveEngine) deliverX(i int32, seg []float64) {
+	e.xSeg[i] = seg
+	for _, bid := range e.byRow[i] {
+		if symbolic.OwnerOfBlock(e.m2d, &e.st.Blocks[bid]) == e.r.ID {
+			e.push(bwdBlk, bid)
+		}
+	}
+}
+
+// runBwdBlk computes c = L_{i,k}ᵀ·x_i and sends it to column supernode k's
+// diagonal owner.
+func (e *solveEngine) runBwdBlk(bid int32) {
+	st := e.st
+	bl := &st.Blocks[bid]
+	sn := &st.Snodes[bl.Snode]
+	nc := sn.NCols()
+	m := int(bl.NRows)
+	data := e.f.Data[bid]
+	rows := sn.Rows[bl.RowOff : bl.RowOff+bl.NRows]
+	fcI := st.Snodes[bl.RowSn].FirstCol
+	xi := e.xSeg[bl.RowSn]
+	c := make([]float64, nc)
+	for col := 0; col < nc; col++ {
+		colv := data[col*m : col*m+m]
+		var s float64
+		for x := 0; x < m; x++ {
+			s += colv[x] * xi[rows[x]-fcI]
+		}
+		c[col] = s
+	}
+	e.r.Charge(e.f.Opt.Machine.CPUTime(2 * int64(m) * int64(nc)))
+	tgt := bl.Snode
+	owner := e.segOwner(tgt)
+	if owner == e.r.ID {
+		e.applyBwd(tgt, c)
+		return
+	}
+	peers := e.peers
+	e.r.RPC(owner, func(tr *upcxx.Rank) {
+		peers[tr.ID].applyBwd(tgt, c)
+	})
+	chargeMsg(e.r, owner, int64(nc)*8)
+}
+
+// applyBwd folds a backward contribution into y_k and schedules the
+// diagonal backsolve when everything has arrived.
+func (e *solveEngine) applyBwd(k int32, c []float64) {
+	seg := e.yk[k]
+	for i := range c {
+		seg[i] -= c[i]
+	}
+	e.decBwd(k)
+}
+
+func (e *solveEngine) decBwd(k int32) {
+	e.bwdCount[k]--
+	if e.bwdCount[k] == 0 {
+		e.push(bwdDiag, k)
+	}
+}
+
+// chargeMsg accounts the modeled cost of an aggregate-vector message on
+// the sending rank (host-resident payloads move on the host-host path).
+func chargeMsg(r *upcxx.Rank, owner int, bytes int64) {
+	rt := r.Runtime()
+	r.Charge(rt.Network().Time(simnet.PathHostHost, bytes, rt.Node(r.ID) == rt.Node(owner)))
+}

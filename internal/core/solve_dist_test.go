@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sympack/internal/gen"
+)
+
+func TestSolveDistributedMatchesSequential(t *testing.T) {
+	for name, a := range testProblems() {
+		for _, p := range []int{1, 2, 4, 7} {
+			f, err := Factorize(a, Options{Ranks: p})
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", name, p, err)
+			}
+			rng := rand.New(rand.NewSource(3))
+			b := make([]float64, a.N)
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+			seq, err := f.Solve(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dist, err := f.SolveDistributed(b)
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", name, p, err)
+			}
+			for i := range seq {
+				if d := math.Abs(seq[i] - dist[i]); d > 1e-10*(1+math.Abs(seq[i])) {
+					t.Fatalf("%s p=%d: x[%d] differs by %g", name, p, i, d)
+				}
+			}
+			if r := ResidualNorm(a, dist, b); r > 1e-10 {
+				t.Fatalf("%s p=%d: residual %g", name, p, r)
+			}
+		}
+	}
+}
+
+func TestSolveDistributedStats(t *testing.T) {
+	a := gen.Laplace3D(4, 4, 4)
+	f, err := Factorize(a, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = 1
+	}
+	if _, err := f.SolveDistributed(b); err != nil {
+		t.Fatal(err)
+	}
+	if f.SolveStats.Wall <= 0 || f.SolveStats.ModelSeconds <= 0 {
+		t.Fatalf("solve stats not populated: %+v", f.SolveStats)
+	}
+}
+
+func TestSolveDistributedRHSLength(t *testing.T) {
+	a := gen.Laplace2D(5, 5)
+	f, err := Factorize(a, Options{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.SolveDistributed(make([]float64, 3)); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+// Property: distributed and sequential solves agree for random systems and
+// rank counts.
+func TestSolveDistributedProperty(t *testing.T) {
+	f := func(seed int64, nRaw, pRaw uint8) bool {
+		n := int(nRaw%25) + 1
+		p := int(pRaw%6) + 1
+		a := gen.RandomSPD(n, 0.25, seed)
+		fac, err := Factorize(a, Options{Ranks: p})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed + 5))
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := fac.SolveDistributed(b)
+		if err != nil {
+			return false
+		}
+		return ResidualNorm(a, x, b) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveDistributedMulti(t *testing.T) {
+	a := gen.Laplace2D(7, 7)
+	f, err := Factorize(a, Options{Ranks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	bs := make([][]float64, 3)
+	for i := range bs {
+		bs[i] = make([]float64, a.N)
+		for j := range bs[i] {
+			bs[i][j] = rng.NormFloat64()
+		}
+	}
+	xs, err := f.SolveDistributedMulti(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if r := ResidualNorm(a, xs[i], bs[i]); r > 1e-10 {
+			t.Fatalf("rhs %d: residual %g", i, r)
+		}
+	}
+	if _, err := f.SolveDistributedMulti([][]float64{make([]float64, 2)}); err == nil {
+		t.Fatal("expected length error")
+	}
+}

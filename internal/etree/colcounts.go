@@ -1,0 +1,95 @@
+package etree
+
+import "sympack/internal/matrix"
+
+// ColCounts computes the nonzero count of every column of the Cholesky
+// factor L (diagonal included) in near-linear time O(nnz·α(n)), using the
+// skeleton-matrix algorithm of Gilbert, Ng and Peyton as realized in
+// CSparse's cs_counts: row subtrees are detected leaf-by-leaf with a
+// path-compressed ancestor union-find, so the factor's structure is never
+// materialized. `post` must be a postorder of the tree (t.Postorder()).
+func (t *Tree) ColCounts(a *matrix.SparseSym, post []int32) []int32 {
+	n := t.N()
+	parent := t.Parent
+	delta := make([]int32, n)
+	first := make([]int32, n)
+	maxfirst := make([]int32, n)
+	prevleaf := make([]int32, n)
+	ancestor := make([]int32, n)
+	for i := 0; i < n; i++ {
+		first[i] = -1
+		maxfirst[i] = -1
+		prevleaf[i] = -1
+		ancestor[i] = int32(i)
+	}
+	// Pass 1: first descendants and leaf deltas.
+	for k := 0; k < n; k++ {
+		j := post[k]
+		if first[j] == -1 {
+			delta[j] = 1 // j is a leaf of the etree
+		}
+		for ; j != -1 && first[j] == -1; j = parent[j] {
+			first[j] = int32(k)
+		}
+	}
+	// Pass 2: count skeleton entries via row-subtree leaves. Column j of
+	// the lower-triangle CSC holds exactly the rows i ≥ j with A[i,j] ≠ 0,
+	// the edge set cs_counts walks.
+	for k := 0; k < n; k++ {
+		j := post[k]
+		if parent[j] != -1 {
+			delta[parent[j]]--
+		}
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			i := a.RowInd[p]
+			q, jleaf := leaf(i, j, first, maxfirst, prevleaf, ancestor)
+			if jleaf >= 1 {
+				delta[j]++
+			}
+			if jleaf == 2 {
+				delta[q]--
+			}
+		}
+		if parent[j] != -1 {
+			ancestor[j] = parent[j]
+		}
+	}
+	// Pass 3: accumulate subtree counts up the tree. The parent array is
+	// not necessarily monotone, so walk in postorder.
+	counts := delta
+	for k := 0; k < n; k++ {
+		j := post[k]
+		if parent[j] != -1 {
+			counts[parent[j]] += counts[j]
+		}
+	}
+	return counts
+}
+
+// leaf implements cs_leaf: it decides whether j is a new leaf of row i's
+// row subtree. jleaf is 0 when (i,j) is not a skeleton entry, 1 for the
+// first leaf of row i, 2 for subsequent leaves — in which case q is the
+// least common ancestor of j and the previous leaf, whose count the caller
+// decrements to cancel the overlap.
+func leaf(i, j int32, first, maxfirst, prevleaf, ancestor []int32) (q int32, jleaf int) {
+	if i <= j || first[j] <= maxfirst[i] {
+		return -1, 0
+	}
+	maxfirst[i] = first[j]
+	jprev := prevleaf[i]
+	prevleaf[i] = j
+	if jprev == -1 {
+		return i, 1
+	}
+	// Find the root of jprev's partial path (the LCA), compressing.
+	q = jprev
+	for q != ancestor[q] {
+		q = ancestor[q]
+	}
+	for s := jprev; s != q; {
+		next := ancestor[s]
+		ancestor[s] = q
+		s = next
+	}
+	return q, 2
+}

@@ -1,0 +1,227 @@
+// Package etree computes and manipulates elimination trees, the central
+// symbolic tool of sparse Cholesky factorization (paper §2.2, Liu [18]).
+// The elimination tree of the factor L has an edge (j → parent) where
+// parent is the row of the first off-diagonal nonzero in column j of L;
+// it encodes all column dependencies of the factorization.
+package etree
+
+import (
+	"errors"
+
+	"sympack/internal/matrix"
+)
+
+// ErrNotPostordered is returned by functions requiring a postordered tree.
+var ErrNotPostordered = errors.New("etree: tree is not postordered")
+
+// Tree holds an elimination tree as a parent array: Parent[j] is the parent
+// column of j, or -1 for roots.
+type Tree struct {
+	Parent []int32
+}
+
+// N returns the number of vertices.
+func (t *Tree) N() int { return len(t.Parent) }
+
+// Compute builds the elimination tree of a symmetric matrix using Liu's
+// algorithm with path compression, O(nnz·α(n)).
+func Compute(a *matrix.SparseSym) *Tree {
+	n := a.N
+	parent := make([]int32, n)
+	ancestor := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+		ancestor[i] = -1
+	}
+	// Liu's algorithm requires visiting rows in ascending order, with all
+	// below-diagonal entries of row i available together. Our storage is
+	// lower-triangle CSC (entries of row i scattered over columns j < i),
+	// so first bucket entries by row.
+	rowPtr := make([]int32, n+1)
+	for j := 0; j < n; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			if i := a.RowInd[p]; int(i) != j {
+				rowPtr[i+1]++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	rowCols := make([]int32, rowPtr[n])
+	pos := append([]int32(nil), rowPtr[:n]...)
+	for j := 0; j < n; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			if i := a.RowInd[p]; int(i) != j {
+				rowCols[pos[i]] = int32(j)
+				pos[i]++
+			}
+		}
+	}
+	for i := int32(0); int(i) < n; i++ {
+		for p := rowPtr[i]; p < rowPtr[i+1]; p++ {
+			// Walk the compressed ancestor path from j toward i.
+			k := rowCols[p]
+			for k != -1 && k < i {
+				next := ancestor[k]
+				ancestor[k] = i
+				if next == -1 {
+					parent[k] = i
+					break
+				}
+				k = next
+			}
+		}
+	}
+	return &Tree{Parent: parent}
+}
+
+// Children returns, for each vertex, the list of its children in ascending
+// order (row indices ascend because columns are visited in order).
+func (t *Tree) Children() [][]int32 {
+	ch := make([][]int32, t.N())
+	for j, p := range t.Parent {
+		if p >= 0 {
+			ch[p] = append(ch[p], int32(j))
+		}
+	}
+	return ch
+}
+
+// Roots returns the tree roots (one per connected component).
+func (t *Tree) Roots() []int32 {
+	var r []int32
+	for j, p := range t.Parent {
+		if p == -1 {
+			r = append(r, int32(j))
+		}
+	}
+	return r
+}
+
+// Postorder returns a postorder permutation (new-to-old): vertices are
+// renumbered so every child precedes its parent and each subtree is a
+// contiguous index range. Children are visited in ascending original order,
+// which keeps the permutation stable for already-postordered trees.
+func (t *Tree) Postorder() []int32 {
+	n := t.N()
+	ch := t.Children()
+	post := make([]int32, 0, n)
+	// Iterative DFS with per-vertex child cursor to avoid recursion depth
+	// limits on path graphs.
+	cursor := make([]int32, n)
+	stack := make([]int32, 0, 64)
+	for j := 0; j < n; j++ {
+		if t.Parent[j] != -1 {
+			continue
+		}
+		stack = append(stack, int32(j))
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			if int(cursor[v]) < len(ch[v]) {
+				c := ch[v][cursor[v]]
+				cursor[v]++
+				stack = append(stack, c)
+				continue
+			}
+			post = append(post, v)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return post
+}
+
+// IsPostordered reports whether parent[j] > j for all non-roots, the
+// property guaranteed after permuting a matrix by Postorder().
+func (t *Tree) IsPostordered() bool {
+	for j, p := range t.Parent {
+		if p != -1 && int(p) <= j {
+			return false
+		}
+	}
+	return true
+}
+
+// Permute relabels the tree under a new-to-old permutation `perm`,
+// returning the tree of the permuted matrix. newParent[inv[j]] =
+// inv[parent[j]].
+func (t *Tree) Permute(perm []int32) *Tree {
+	n := t.N()
+	inv := make([]int32, n)
+	for k, old := range perm {
+		inv[old] = int32(k)
+	}
+	np := make([]int32, n)
+	for j := 0; j < n; j++ {
+		p := t.Parent[j]
+		if p == -1 {
+			np[inv[j]] = -1
+		} else {
+			np[inv[j]] = inv[p]
+		}
+	}
+	return &Tree{Parent: np}
+}
+
+// Level returns each vertex's depth from its root (root = 0).
+func (t *Tree) Level() []int32 {
+	n := t.N()
+	lvl := make([]int32, n)
+	for i := range lvl {
+		lvl[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		// Iterative path walk to avoid deep recursion on path-shaped
+		// trees: collect unlabeled ancestors, then assign downward.
+		if lvl[v] >= 0 {
+			continue
+		}
+		path := []int32{}
+		u := int32(v)
+		for u != -1 && lvl[u] < 0 {
+			path = append(path, u)
+			u = t.Parent[u]
+		}
+		base := int32(-1)
+		if u != -1 {
+			base = lvl[u]
+		}
+		for i := len(path) - 1; i >= 0; i-- {
+			base++
+			lvl[path[i]] = base
+		}
+	}
+	return lvl
+}
+
+// Height returns 1 + the maximum level (the length of the longest
+// root-to-leaf path), a proxy for the critical path of the factorization.
+func (t *Tree) Height() int {
+	h := int32(0)
+	for _, l := range t.Level() {
+		if l > h {
+			h = l
+		}
+	}
+	return int(h + 1)
+}
+
+// FirstDescendants returns, for a postordered tree, the smallest vertex in
+// each subtree. Returns ErrNotPostordered when the precondition fails.
+func (t *Tree) FirstDescendants() ([]int32, error) {
+	if !t.IsPostordered() {
+		return nil, ErrNotPostordered
+	}
+	n := t.N()
+	fd := make([]int32, n)
+	for j := 0; j < n; j++ {
+		fd[j] = int32(j)
+	}
+	for j := 0; j < n; j++ {
+		p := t.Parent[j]
+		if p != -1 && fd[j] < fd[p] {
+			fd[p] = fd[j]
+		}
+	}
+	return fd, nil
+}

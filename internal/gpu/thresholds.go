@@ -1,0 +1,81 @@
+package gpu
+
+import "sympack/internal/machine"
+
+// This file implements the paper's §6 future-work item: "a hardware-
+// agnostic analytical framework for determining the optimal GPU threshold
+// sizes for each operation". Instead of the brute-force manual tuning the
+// paper used, AnalyticThresholds derives each operation's offload
+// threshold directly from a machine's cost model by locating the crossover
+// where the offloaded execution (kernel launch + PCIe copies + device
+// time) becomes cheaper than the host execution.
+
+// analyticShape describes one operation's modeled geometry as a function
+// of a square block edge s: its flop count and the bytes that must cross
+// the host-device link (inputs + outputs), assuming no operand caching —
+// the conservative case the thresholds must cover.
+func analyticShape(op machine.Op, s int) (flops int64, bytes int64) {
+	e := int64(s) * int64(s)
+	switch op {
+	case machine.OpPotrf:
+		// In-place factorization: the block goes down and comes back.
+		return machine.KernelFlops(machine.OpPotrf, 0, s, 0), 2 * 8 * e
+	case machine.OpTrsm:
+		// The panel block round-trips; the triangular operand goes down
+		// once (often device-resident already, but the threshold must
+		// hold without that luck).
+		return machine.KernelFlops(machine.OpTrsm, s, s, 0), 3 * 8 * e
+	case machine.OpSyrk:
+		// One operand down, the scratch product back.
+		return machine.KernelFlops(machine.OpSyrk, s, s, 0), 2 * 8 * e
+	case machine.OpGemm:
+		// Two operands down, the scratch product back.
+		return machine.KernelFlops(machine.OpGemm, s, s, s), 3 * 8 * e
+	default:
+		return 0, 0
+	}
+}
+
+// offloadWins reports whether the modeled GPU execution of op at edge s
+// beats the CPU execution on machine m.
+func offloadWins(m *machine.Machine, op machine.Op, s int) bool {
+	flops, bytes := analyticShape(op, s)
+	gpu := m.GPUTime(flops) + m.HostDeviceCopyTime(bytes)
+	return gpu < m.CPUTime(flops)
+}
+
+// crossover returns the smallest block edge s at which offloading op wins
+// and keeps winning (the cost curves cross exactly once in practice; the
+// search still guards against early noise by requiring two consecutive
+// wins). Returns maxEdge+1 when the GPU never wins below maxEdge.
+func crossover(m *machine.Machine, op machine.Op, maxEdge int) int {
+	for s := 2; s <= maxEdge; s++ {
+		if offloadWins(m, op, s) && offloadWins(m, op, s+1) {
+			return s
+		}
+	}
+	return maxEdge + 1
+}
+
+// AnalyticThresholds derives per-operation offload thresholds (in output
+// elements, matching Thresholds' units) from a machine's cost model. A
+// small safety margin is applied on top of the raw crossover: blocks right
+// at the break-even point gain nothing from the device but add transfer
+// traffic, so production thresholds sit slightly above it.
+func AnalyticThresholds(m machine.Machine) Thresholds {
+	const (
+		maxEdge = 8192
+		margin  = 1.15 // 15% above break-even on the block edge
+	)
+	edge := func(op machine.Op) int {
+		s := crossover(&m, op, maxEdge)
+		return int(float64(s) * margin)
+	}
+	sq := func(s int) int { return s * s }
+	return Thresholds{
+		Potrf: sq(edge(machine.OpPotrf)),
+		Trsm:  sq(edge(machine.OpTrsm)),
+		Syrk:  sq(edge(machine.OpSyrk)),
+		Gemm:  sq(edge(machine.OpGemm)),
+	}
+}

@@ -1,0 +1,94 @@
+package gpu
+
+import (
+	"testing"
+
+	"sympack/internal/machine"
+)
+
+func TestAnalyticThresholdsEconomics(t *testing.T) {
+	for _, m := range []machine.Machine{machine.Perlmutter(), machine.Frontier()} {
+		th := AnalyticThresholds(m)
+		for _, op := range []machine.Op{machine.OpPotrf, machine.OpTrsm, machine.OpSyrk, machine.OpGemm} {
+			var thr int
+			switch op {
+			case machine.OpPotrf:
+				thr = th.Potrf
+			case machine.OpTrsm:
+				thr = th.Trsm
+			case machine.OpSyrk:
+				thr = th.Syrk
+			case machine.OpGemm:
+				thr = th.Gemm
+			}
+			if thr <= 1 {
+				t.Fatalf("%s/%v: degenerate threshold %d", m.Name, op, thr)
+			}
+			// At the threshold edge, the GPU must win; well below it, the
+			// CPU must win.
+			edge := 1
+			for edge*edge < thr {
+				edge++
+			}
+			if !offloadWins(&m, op, edge+1) {
+				t.Fatalf("%s/%v: GPU does not win just above threshold edge %d", m.Name, op, edge)
+			}
+			if offloadWins(&m, op, max(edge/4, 2)) && edge > 12 {
+				t.Fatalf("%s/%v: GPU already wins far below threshold edge %d", m.Name, op, edge)
+			}
+		}
+	}
+}
+
+// The derived thresholds must land in the same regime as the brute-force
+// tuned defaults for the default machine (the paper tuned on Perlmutter).
+func TestAnalyticMatchesTunedRegime(t *testing.T) {
+	th := AnalyticThresholds(machine.Perlmutter())
+	def := DefaultThresholds()
+	check := func(name string, got, want int) {
+		lo, hi := want/6, want*6
+		if got < lo || got > hi {
+			t.Fatalf("%s: analytic %d outside [%d, %d] around tuned %d", name, got, lo, hi, want)
+		}
+	}
+	check("potrf", th.Potrf, def.Potrf)
+	check("trsm", th.Trsm, def.Trsm)
+	check("syrk", th.Syrk, def.Syrk)
+	check("gemm", th.Gemm, def.Gemm)
+	// The qualitative ordering: POTRF needs the largest blocks (poor GPU
+	// efficiency at small orders), GEMM/SYRK amortize earliest.
+	if th.Potrf <= th.Gemm {
+		t.Fatalf("potrf threshold %d should exceed gemm %d", th.Potrf, th.Gemm)
+	}
+}
+
+// Hardware-agnosticism: a different platform yields different thresholds
+// from the same framework.
+func TestAnalyticThresholdsVaryByMachine(t *testing.T) {
+	p := AnalyticThresholds(machine.Perlmutter())
+	f := AnalyticThresholds(machine.Frontier())
+	if p == f {
+		t.Fatal("distinct machines produced identical thresholds")
+	}
+	// A machine with an absurdly slow GPU should effectively never
+	// offload.
+	slow := machine.Perlmutter()
+	slow.GPUFlops = slow.CPUFlops / 4
+	s := AnalyticThresholds(slow)
+	if s.Gemm < 1<<20 {
+		t.Fatalf("slow-GPU machine got gemm threshold %d, want effectively-never", s.Gemm)
+	}
+}
+
+func TestAnalyticShapeSanity(t *testing.T) {
+	for _, op := range []machine.Op{machine.OpPotrf, machine.OpTrsm, machine.OpSyrk, machine.OpGemm} {
+		f1, b1 := analyticShape(op, 16)
+		f2, b2 := analyticShape(op, 32)
+		if f2 <= f1 || b2 <= b1 {
+			t.Fatalf("%v: shape not monotone", op)
+		}
+	}
+	if f, b := analyticShape(machine.Op(99), 16); f != 0 || b != 0 {
+		t.Fatal("unknown op should be zero")
+	}
+}

@@ -1,0 +1,244 @@
+// Package graph provides the undirected-graph machinery consumed by the
+// fill-reducing ordering phase: compressed adjacency, breadth-first level
+// structures, pseudo-peripheral vertex search and connected components.
+package graph
+
+import "sympack/internal/matrix"
+
+// Graph is an undirected graph in compressed adjacency (CSR) form. Self
+// loops are excluded. Neighbor lists are sorted.
+type Graph struct {
+	N   int
+	Ptr []int32
+	Adj []int32
+}
+
+// FromSparse builds the adjacency graph of a symmetric matrix: vertices are
+// rows/columns, edges are off-diagonal nonzeros.
+func FromSparse(s *matrix.SparseSym) *Graph {
+	n := s.N
+	deg := make([]int32, n)
+	for j := 0; j < n; j++ {
+		for p := s.ColPtr[j]; p < s.ColPtr[j+1]; p++ {
+			i := int(s.RowInd[p])
+			if i != j {
+				deg[i]++
+				deg[j]++
+			}
+		}
+	}
+	g := &Graph{N: n, Ptr: make([]int32, n+1)}
+	for v := 0; v < n; v++ {
+		g.Ptr[v+1] = g.Ptr[v] + deg[v]
+	}
+	g.Adj = make([]int32, g.Ptr[n])
+	pos := make([]int32, n)
+	copy(pos, g.Ptr[:n])
+	for j := 0; j < n; j++ {
+		for p := s.ColPtr[j]; p < s.ColPtr[j+1]; p++ {
+			i := int(s.RowInd[p])
+			if i != j {
+				g.Adj[pos[i]] = int32(j)
+				pos[i]++
+				g.Adj[pos[j]] = int32(i)
+				pos[j]++
+			}
+		}
+	}
+	// Row indices are emitted in increasing column order for row i, and in
+	// increasing row order for column j, so each neighbor list is already
+	// sorted ascending by construction of the two passes? Not quite: list v
+	// receives neighbors from both roles. Sort defensively.
+	for v := 0; v < n; v++ {
+		insertionSort(g.Adj[g.Ptr[v]:g.Ptr[v+1]])
+	}
+	return g
+}
+
+func insertionSort(a []int32) {
+	for i := 1; i < len(a); i++ {
+		x := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > x {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = x
+	}
+}
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int32) int { return int(g.Ptr[v+1] - g.Ptr[v]) }
+
+// Neighbors returns the (sorted) adjacency list of v; the slice aliases the
+// graph's storage and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 { return g.Adj[g.Ptr[v]:g.Ptr[v+1]] }
+
+// LevelStructure holds a BFS layering rooted at some vertex, restricted to
+// the vertices in one connected component (or an induced subset).
+type LevelStructure struct {
+	Order  []int32 // vertices in BFS order
+	Levels []int32 // Levels[k] = start offset of level k in Order; len = depth+1
+}
+
+// Depth returns the number of BFS levels.
+func (ls *LevelStructure) Depth() int { return len(ls.Levels) - 1 }
+
+// Width returns the maximum level size.
+func (ls *LevelStructure) Width() int {
+	w := 0
+	for k := 0; k+1 < len(ls.Levels); k++ {
+		if sz := int(ls.Levels[k+1] - ls.Levels[k]); sz > w {
+			w = sz
+		}
+	}
+	return w
+}
+
+// BFS computes the level structure rooted at root over the vertices where
+// mask[v] is true (a nil mask means all vertices). The scratch slice `dist`
+// must have length N and be filled with -1 for masked-in vertices; it is
+// returned updated so callers can reuse it (re-set visited entries to -1 to
+// reuse).
+func (g *Graph) BFS(root int32, mask []bool, dist []int32) *LevelStructure {
+	order := make([]int32, 0, 64)
+	order = append(order, root)
+	dist[root] = 0
+	levels := []int32{0}
+	head := 0
+	curLevel := int32(0)
+	for head < len(order) {
+		v := order[head]
+		if dist[v] > curLevel {
+			levels = append(levels, int32(head))
+			curLevel = dist[v]
+		}
+		head++
+		for _, w := range g.Neighbors(v) {
+			if dist[w] >= 0 {
+				continue
+			}
+			if mask != nil && !mask[w] {
+				continue
+			}
+			dist[w] = dist[v] + 1
+			order = append(order, w)
+		}
+	}
+	levels = append(levels, int32(len(order)))
+	return &LevelStructure{Order: order, Levels: levels}
+}
+
+// PseudoPeripheral finds a vertex of (approximately) maximal eccentricity in
+// the component containing start, using the Gibbs–Poole–Stockmeyer
+// iteration. It returns the vertex and its final level structure.
+func (g *Graph) PseudoPeripheral(start int32, mask []bool) (int32, *LevelStructure) {
+	dist := make([]int32, g.N)
+	reset := func(ls *LevelStructure) {
+		for _, v := range ls.Order {
+			dist[v] = -1
+		}
+	}
+	for i := range dist {
+		dist[i] = -1
+	}
+	root := start
+	ls := g.BFS(root, mask, dist)
+	for iter := 0; iter < 8; iter++ {
+		// Pick a minimum-degree vertex in the last level.
+		last := ls.Order[ls.Levels[ls.Depth()-1]:ls.Levels[ls.Depth()]]
+		best := last[0]
+		for _, v := range last[1:] {
+			if g.Degree(v) < g.Degree(best) {
+				best = v
+			}
+		}
+		reset(ls)
+		ls2 := g.BFS(best, mask, dist)
+		if ls2.Depth() <= ls.Depth() {
+			// Restore dist for the returned structure's invariant and stop.
+			return root, ls2
+		}
+		root, ls = best, ls2
+	}
+	return root, ls
+}
+
+// Components returns the connected components over the vertices where
+// mask[v] is true (nil mask = all), each as a sorted vertex list.
+func (g *Graph) Components(mask []bool) [][]int32 {
+	seen := make([]bool, g.N)
+	var comps [][]int32
+	stack := make([]int32, 0, 64)
+	for v := 0; v < g.N; v++ {
+		if seen[v] || (mask != nil && !mask[v]) {
+			continue
+		}
+		var comp []int32
+		stack = append(stack[:0], int32(v))
+		seen[v] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for _, w := range g.Neighbors(u) {
+				if seen[w] || (mask != nil && !mask[w]) {
+					continue
+				}
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+		insertionSortLarge(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+func insertionSortLarge(a []int32) {
+	// Components can be large; fall back to a shell sort that behaves well
+	// without pulling in sort for int32 slices.
+	gaps := []int{701, 301, 132, 57, 23, 10, 4, 1}
+	for _, gap := range gaps {
+		for i := gap; i < len(a); i++ {
+			x := a[i]
+			j := i
+			for ; j >= gap && a[j-gap] > x; j -= gap {
+				a[j] = a[j-gap]
+			}
+			a[j] = x
+		}
+	}
+}
+
+// InducedSubgraph extracts the subgraph over the given (sorted or unsorted)
+// vertex set. It returns the subgraph and the local→global vertex mapping.
+func (g *Graph) InducedSubgraph(verts []int32) (*Graph, []int32) {
+	local := make(map[int32]int32, len(verts))
+	for i, v := range verts {
+		local[v] = int32(i)
+	}
+	sub := &Graph{N: len(verts), Ptr: make([]int32, len(verts)+1)}
+	for i, v := range verts {
+		cnt := int32(0)
+		for _, w := range g.Neighbors(v) {
+			if _, ok := local[w]; ok {
+				cnt++
+			}
+		}
+		sub.Ptr[i+1] = sub.Ptr[i] + cnt
+	}
+	sub.Adj = make([]int32, sub.Ptr[len(verts)])
+	for i, v := range verts {
+		p := sub.Ptr[i]
+		for _, w := range g.Neighbors(v) {
+			if lw, ok := local[w]; ok {
+				sub.Adj[p] = lw
+				p++
+			}
+		}
+		insertionSort(sub.Adj[sub.Ptr[i]:sub.Ptr[i+1]])
+	}
+	glob := append([]int32(nil), verts...)
+	return sub, glob
+}

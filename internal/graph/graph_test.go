@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"testing"
+
+	"sympack/internal/gen"
+)
+
+func pathGraph(n int) *Graph {
+	return FromSparse(gen.Laplace2D(n, 1))
+}
+
+func TestFromSparseAdjacency(t *testing.T) {
+	s := gen.Laplace2D(3, 2) // 3x2 grid
+	g := FromSparse(s)
+	if g.N != 6 {
+		t.Fatalf("N = %d", g.N)
+	}
+	// Vertex 0 (corner) neighbors: 1 (right) and 3 (up).
+	nb := g.Neighbors(0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 3 {
+		t.Fatalf("neighbors(0) = %v, want [1 3]", nb)
+	}
+	// Vertex 4 (middle of top row): neighbors 1, 3, 5.
+	nb = g.Neighbors(4)
+	if len(nb) != 3 || nb[0] != 1 || nb[1] != 3 || nb[2] != 5 {
+		t.Fatalf("neighbors(4) = %v, want [1 3 5]", nb)
+	}
+	// Degrees are symmetric: every edge appears in both lists.
+	for v := int32(0); int(v) < g.N; v++ {
+		for _, w := range g.Neighbors(v) {
+			found := false
+			for _, x := range g.Neighbors(w) {
+				if x == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge (%d,%d) not symmetric", v, w)
+			}
+		}
+	}
+}
+
+func TestBFSLevels(t *testing.T) {
+	g := pathGraph(5) // path of 5 vertices
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	ls := g.BFS(0, nil, dist)
+	if ls.Depth() != 5 {
+		t.Fatalf("depth = %d, want 5", ls.Depth())
+	}
+	if ls.Width() != 1 {
+		t.Fatalf("width = %d, want 1", ls.Width())
+	}
+	if len(ls.Order) != 5 {
+		t.Fatalf("order covers %d vertices", len(ls.Order))
+	}
+	for i, v := range ls.Order {
+		if int(v) != i {
+			t.Fatalf("path BFS order wrong at %d: %d", i, v)
+		}
+	}
+}
+
+func TestBFSMask(t *testing.T) {
+	g := pathGraph(5)
+	mask := []bool{true, true, false, true, true}
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	ls := g.BFS(0, mask, dist)
+	if len(ls.Order) != 2 {
+		t.Fatalf("masked BFS reached %d vertices, want 2", len(ls.Order))
+	}
+}
+
+func TestPseudoPeripheralOnPath(t *testing.T) {
+	g := pathGraph(9)
+	root, ls := g.PseudoPeripheral(4, nil) // start mid-path
+	if root != 0 && root != 8 {
+		t.Fatalf("pseudo-peripheral of a path should be an endpoint, got %d", root)
+	}
+	if ls.Depth() != 9 {
+		t.Fatalf("eccentricity = %d, want 9", ls.Depth())
+	}
+}
+
+func TestComponents(t *testing.T) {
+	// Two disjoint paths via a block-diagonal matrix.
+	s := gen.RandomSPD(4, 0, 1) // diagonal only: 4 singletons
+	g := FromSparse(s)
+	comps := g.Components(nil)
+	if len(comps) != 4 {
+		t.Fatalf("components = %d, want 4", len(comps))
+	}
+	g2 := pathGraph(6)
+	comps2 := g2.Components(nil)
+	if len(comps2) != 1 || len(comps2[0]) != 6 {
+		t.Fatalf("path should be one component of 6, got %v", comps2)
+	}
+	// Masked components.
+	mask := []bool{true, true, true, false, true, true}
+	comps3 := g2.Components(mask)
+	if len(comps3) != 2 {
+		t.Fatalf("masked path should split into 2 components, got %d", len(comps3))
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := FromSparse(gen.Laplace2D(3, 3))
+	verts := []int32{0, 1, 3, 4}
+	sub, glob := g.InducedSubgraph(verts)
+	if sub.N != 4 {
+		t.Fatalf("sub.N = %d", sub.N)
+	}
+	if len(glob) != 4 || glob[0] != 0 {
+		t.Fatalf("glob = %v", glob)
+	}
+	// In the 2x2 corner of the grid, vertex 0 connects to 1 and 3 (local 1, 2).
+	nb := sub.Neighbors(0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 2 {
+		t.Fatalf("sub neighbors(0) = %v", nb)
+	}
+	// Edge count: 4 edges in the 2x2 block.
+	if len(sub.Adj) != 8 {
+		t.Fatalf("sub edge endpoints = %d, want 8", len(sub.Adj))
+	}
+}
+
+func TestLevelStructureWidth(t *testing.T) {
+	g := FromSparse(gen.Laplace2D(4, 4))
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	ls := g.BFS(0, nil, dist)
+	// Diagonal BFS on a 4x4 grid: widths 1,2,3,4,3,2,1 → max 4.
+	if ls.Width() != 4 {
+		t.Fatalf("width = %d, want 4", ls.Width())
+	}
+	if ls.Depth() != 7 {
+		t.Fatalf("depth = %d, want 7", ls.Depth())
+	}
+}

@@ -1,0 +1,548 @@
+// Package ordering computes fill-reducing orderings for sparse symmetric
+// matrices. It is the substitute for the Scotch library the paper uses
+// (§5, AD/AE): the primary algorithm is nested dissection (George [10]),
+// with minimum-degree used on small subproblems and available standalone,
+// plus reverse Cuthill–McKee and the identity ordering for comparison.
+//
+// All functions return a permutation in new-to-old form: perm[k] is the
+// original index of the k-th row/column of the reordered matrix, the
+// convention accepted by matrix.SparseSym.Permute.
+package ordering
+
+import (
+	"fmt"
+	"sort"
+
+	"sympack/internal/graph"
+	"sympack/internal/matrix"
+)
+
+// Kind selects an ordering algorithm.
+type Kind int
+
+const (
+	// Natural is the identity ordering (no permutation).
+	Natural Kind = iota
+	// RCM is reverse Cuthill–McKee (bandwidth reducing).
+	RCM
+	// MinDegree is quotient-graph minimum degree.
+	MinDegree
+	// NestedDissection is recursive graph bisection with vertex
+	// separators ordered last — the Scotch-equivalent default.
+	NestedDissection
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Natural:
+		return "NATURAL"
+	case RCM:
+		return "RCM"
+	case MinDegree:
+		return "MINDEGREE"
+	case NestedDissection:
+		return "SCOTCH-ND"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind converts a command-line style name ("SCOTCH", "ND", "AMD", ...)
+// into a Kind. The paper's driver accepts "-ordering SCOTCH"; we map that to
+// nested dissection.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "NATURAL", "natural", "NONE":
+		return Natural, nil
+	case "RCM", "rcm":
+		return RCM, nil
+	case "MINDEGREE", "MMD", "AMD", "amd", "md":
+		return MinDegree, nil
+	case "SCOTCH", "scotch", "ND", "nd", "METIS":
+		return NestedDissection, nil
+	default:
+		return Natural, fmt.Errorf("ordering: unknown kind %q", s)
+	}
+}
+
+// Compute returns a fill-reducing permutation for the matrix.
+func Compute(kind Kind, a *matrix.SparseSym) ([]int32, error) {
+	g := graph.FromSparse(a)
+	switch kind {
+	case Natural:
+		p := make([]int32, a.N)
+		for i := range p {
+			p[i] = int32(i)
+		}
+		return p, nil
+	case RCM:
+		return rcm(g), nil
+	case MinDegree:
+		return minDegree(g), nil
+	case NestedDissection:
+		return nestedDissection(g), nil
+	default:
+		return nil, fmt.Errorf("ordering: unknown kind %d", int(kind))
+	}
+}
+
+// Validate checks that perm is a permutation of 0..n-1.
+func Validate(perm []int32, n int) error {
+	if len(perm) != n {
+		return fmt.Errorf("ordering: permutation length %d != n %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for k, v := range perm {
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("ordering: perm[%d]=%d out of range", k, v)
+		}
+		if seen[v] {
+			return fmt.Errorf("ordering: duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// Inverse returns the old-to-new inverse of a new-to-old permutation.
+func Inverse(perm []int32) []int32 {
+	inv := make([]int32, len(perm))
+	for k, v := range perm {
+		inv[v] = int32(k)
+	}
+	return inv
+}
+
+// ---------------------------------------------------------------- RCM ----
+
+func rcm(g *graph.Graph) []int32 {
+	n := g.N
+	perm := make([]int32, 0, n)
+	visited := make([]bool, n)
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	for v0 := 0; v0 < n; v0++ {
+		if visited[v0] {
+			continue
+		}
+		root, _ := g.PseudoPeripheral(int32(v0), nil)
+		// Cuthill–McKee BFS ordering neighbors by increasing degree.
+		start := len(perm)
+		perm = append(perm, root)
+		visited[root] = true
+		for head := start; head < len(perm); head++ {
+			v := perm[head]
+			nbrs := make([]int32, 0, g.Degree(v))
+			for _, w := range g.Neighbors(v) {
+				if !visited[w] {
+					visited[w] = true
+					nbrs = append(nbrs, w)
+				}
+			}
+			sort.Slice(nbrs, func(a, b int) bool { return g.Degree(nbrs[a]) < g.Degree(nbrs[b]) })
+			perm = append(perm, nbrs...)
+		}
+		// Reverse this component's span.
+		for i, j := start, len(perm)-1; i < j; i, j = i+1, j-1 {
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	return perm
+}
+
+// --------------------------------------------------------- MinDegree ----
+
+// minDegree implements quotient-graph minimum degree with exact external
+// degrees and element absorption (George & Liu's QMD family). Eliminated
+// pivots become elements; a vertex's neighborhood is its remaining vertex
+// adjacency plus the union of its adjacent elements' vertex lists.
+func minDegree(g *graph.Graph) []int32 {
+	n := g.N
+	// Mutable vertex adjacency and element membership.
+	vadj := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		vadj[v] = append([]int32(nil), g.Neighbors(int32(v))...)
+	}
+	eadj := make([][]int32, n)  // elements adjacent to each vertex
+	elems := make([][]int32, 0) // element id → vertex list
+	eliminated := make([]bool, n)
+	degree := make([]int, n)
+	for v := 0; v < n; v++ {
+		degree[v] = len(vadj[v])
+	}
+	marker := make([]int32, n)
+	for i := range marker {
+		marker[i] = -1
+	}
+	stamp := int32(0)
+
+	// Lazy min-heap over (degree, vertex).
+	h := &degHeap{}
+	for v := 0; v < n; v++ {
+		h.push(degree[v], int32(v))
+	}
+
+	// reach computes the current neighborhood of v (excluding v and
+	// eliminated vertices) into out, using marker/stamp for dedup.
+	reach := func(v int32, out []int32) []int32 {
+		stamp++
+		marker[v] = stamp
+		out = out[:0]
+		for _, w := range vadj[v] {
+			if !eliminated[w] && marker[w] != stamp {
+				marker[w] = stamp
+				out = append(out, w)
+			}
+		}
+		for _, e := range eadj[v] {
+			for _, w := range elems[e] {
+				if !eliminated[w] && marker[w] != stamp {
+					marker[w] = stamp
+					out = append(out, w)
+				}
+			}
+		}
+		return out
+	}
+
+	perm := make([]int32, 0, n)
+	var lp []int32
+	for len(perm) < n {
+		p := h.popValid(eliminated, degree)
+		lp = reach(p, lp)
+		eliminated[p] = true
+		perm = append(perm, p)
+		if len(lp) == 0 {
+			continue
+		}
+		// New element from the pivot's neighborhood.
+		eid := int32(len(elems))
+		elems = append(elems, append([]int32(nil), lp...))
+		absorbed := eadj[p]
+		stampAbs := make(map[int32]bool, len(absorbed))
+		for _, e := range absorbed {
+			stampAbs[e] = true
+		}
+		for _, v := range lp {
+			// Drop absorbed elements and append the new one.
+			ea := eadj[v][:0]
+			for _, e := range eadj[v] {
+				if !stampAbs[e] {
+					ea = append(ea, e)
+				}
+			}
+			eadj[v] = append(ea, eid)
+			// Prune vertex adjacency: drop eliminated vertices and
+			// vertices covered by the new element.
+			stamp++
+			for _, w := range elems[eid] {
+				marker[w] = stamp
+			}
+			va := vadj[v][:0]
+			for _, w := range vadj[v] {
+				if !eliminated[w] && marker[w] != stamp {
+					va = append(va, w)
+				}
+			}
+			vadj[v] = va
+			// Exact external degree refresh.
+			var tmp []int32
+			tmp = reach(v, tmp)
+			degree[v] = len(tmp)
+			h.push(degree[v], v)
+		}
+		// Free absorbed element storage.
+		for _, e := range absorbed {
+			elems[e] = nil
+		}
+	}
+	return perm
+}
+
+// degHeap is a binary min-heap with lazy invalidation: stale entries are
+// skipped at pop time when their recorded degree no longer matches.
+type degHeap struct {
+	deg []int
+	v   []int32
+}
+
+func (h *degHeap) push(d int, v int32) {
+	h.deg = append(h.deg, d)
+	h.v = append(h.v, v)
+	i := len(h.deg) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.deg[p] <= h.deg[i] {
+			break
+		}
+		h.deg[p], h.deg[i] = h.deg[i], h.deg[p]
+		h.v[p], h.v[i] = h.v[i], h.v[p]
+		i = p
+	}
+}
+
+func (h *degHeap) pop() (int, int32) {
+	d, v := h.deg[0], h.v[0]
+	last := len(h.deg) - 1
+	h.deg[0], h.v[0] = h.deg[last], h.v[last]
+	h.deg, h.v = h.deg[:last], h.v[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.deg) && h.deg[l] < h.deg[small] {
+			small = l
+		}
+		if r < len(h.deg) && h.deg[r] < h.deg[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.deg[i], h.deg[small] = h.deg[small], h.deg[i]
+		h.v[i], h.v[small] = h.v[small], h.v[i]
+		i = small
+	}
+	return d, v
+}
+
+// popValid pops until it finds a live entry whose degree is current.
+func (h *degHeap) popValid(eliminated []bool, degree []int) int32 {
+	for {
+		d, v := h.pop()
+		if !eliminated[v] && degree[v] == d {
+			return v
+		}
+	}
+}
+
+// -------------------------------------------------- NestedDissection ----
+
+// ndLeafSize is the subproblem size below which recursion stops and
+// minimum degree takes over; 48 balances separator quality against the
+// cost of deep recursion on small meshes.
+const ndLeafSize = 48
+
+func nestedDissection(g *graph.Graph) []int32 {
+	perm := make([]int32, 0, g.N)
+	for _, comp := range g.Components(nil) {
+		perm = ndRecurse(g, comp, perm)
+	}
+	return perm
+}
+
+// ndRecurse orders the vertex set `verts` (one connected subset of g),
+// appending to perm: first the two halves (recursively), then the separator.
+func ndRecurse(g *graph.Graph, verts []int32, perm []int32) []int32 {
+	if len(verts) <= ndLeafSize {
+		// Order the leaf with minimum degree on the induced subgraph.
+		sub, glob := g.InducedSubgraph(verts)
+		for _, lv := range minDegree(sub) {
+			perm = append(perm, glob[lv])
+		}
+		return perm
+	}
+	sep, a, b := bisect(g, verts)
+	if len(a) == 0 || len(b) == 0 {
+		// Bisection failed to split (e.g. a clique); fall back to MD.
+		sub, glob := g.InducedSubgraph(verts)
+		for _, lv := range minDegree(sub) {
+			perm = append(perm, glob[lv])
+		}
+		return perm
+	}
+	// Recurse on connected components within each half so disconnected
+	// pieces don't share separators.
+	perm = ndRecurseSet(g, a, perm)
+	perm = ndRecurseSet(g, b, perm)
+	perm = append(perm, sep...)
+	return perm
+}
+
+// ndRecurseSet splits a vertex set into its connected components (within the
+// set) and recurses on each.
+func ndRecurseSet(g *graph.Graph, verts []int32, perm []int32) []int32 {
+	if len(verts) == 0 {
+		return perm
+	}
+	sub, glob := g.InducedSubgraph(verts)
+	comps := sub.Components(nil)
+	if len(comps) == 1 {
+		return ndRecurse(g, verts, perm)
+	}
+	for _, c := range comps {
+		gl := make([]int32, len(c))
+		for i, lv := range c {
+			gl[i] = glob[lv]
+		}
+		perm = ndRecurse(g, gl, perm)
+	}
+	return perm
+}
+
+// bisect finds a vertex separator of the induced subgraph over verts using a
+// BFS level-structure median cut, then minimizes it by discarding separator
+// vertices with no neighbors on one side. It returns (separator, sideA,
+// sideB) as global vertex lists.
+func bisect(g *graph.Graph, verts []int32) (sep, a, b []int32) {
+	sub, glob := g.InducedSubgraph(verts)
+	_, ls := sub.PseudoPeripheral(0, nil)
+	if ls.Depth() < 3 {
+		// Too shallow to cut by levels: greedy half split with the
+		// boundary as separator.
+		return greedyBisect(sub, glob)
+	}
+	// Choose the level whose cut best balances the halves.
+	half := len(ls.Order) / 2
+	cut := 1
+	bestBal := -1
+	for k := 1; k+1 < ls.Depth(); k++ {
+		below := int(ls.Levels[k])
+		above := len(ls.Order) - int(ls.Levels[k+1])
+		bal := min(below, above)
+		if bal > bestBal {
+			bestBal, cut = bal, k
+		}
+		if below > half {
+			break
+		}
+	}
+	side := make([]int8, sub.N) // 0 = A, 1 = separator candidate, 2 = B
+	for k := 0; k < ls.Depth(); k++ {
+		var s int8
+		switch {
+		case k < cut:
+			s = 0
+		case k == cut:
+			s = 1
+		default:
+			s = 2
+		}
+		for _, v := range ls.Order[ls.Levels[k]:ls.Levels[k+1]] {
+			side[v] = s
+		}
+	}
+	refineSeparator(sub, side, 4)
+	for lv := 0; lv < sub.N; lv++ {
+		gv := glob[lv]
+		switch side[lv] {
+		case 0:
+			a = append(a, gv)
+		case 1:
+			sep = append(sep, gv)
+		default:
+			b = append(b, gv)
+		}
+	}
+	return sep, a, b
+}
+
+// refineSeparator runs FM-style passes over a vertex separator encoded in
+// side (0 = A, 1 = separator, 2 = B): a separator vertex with neighbors on
+// at most one side leaves the separator (a unit gain); a vertex with
+// exactly one neighbor on the opposite side swaps with it (zero immediate
+// gain, but the swap often exposes unit gains on the next pass). Balance is
+// respected by preferring moves into the smaller side.
+func refineSeparator(sub *graph.Graph, side []int8, maxPasses int) {
+	sizeA, sizeB := 0, 0
+	for v := 0; v < sub.N; v++ {
+		switch side[v] {
+		case 0:
+			sizeA++
+		case 2:
+			sizeB++
+		}
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for v := int32(0); int(v) < sub.N; v++ {
+			if side[v] != 1 {
+				continue
+			}
+			var nA, nB int
+			var lone int32 = -1
+			for _, w := range sub.Neighbors(v) {
+				switch side[w] {
+				case 0:
+					nA++
+				case 2:
+					nB++
+					lone = w
+				}
+			}
+			switch {
+			case nA == 0 && nB == 0:
+				if sizeA <= sizeB {
+					side[v] = 0
+					sizeA++
+				} else {
+					side[v] = 2
+					sizeB++
+				}
+				improved = true
+			case nB == 0:
+				side[v] = 0
+				sizeA++
+				improved = true
+			case nA == 0:
+				side[v] = 2
+				sizeB++
+				improved = true
+			case nB == 1 && sizeA < sizeB:
+				// Swap: v joins A, its single B-neighbor covers for it.
+				side[v] = 0
+				side[lone] = 1
+				sizeA++
+				sizeB--
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// greedyBisect handles shallow graphs: take the first half of a BFS order as
+// A, the rest as B, and promote A-vertices adjacent to B into the separator.
+func greedyBisect(sub *graph.Graph, glob []int32) (sep, a, b []int32) {
+	dist := make([]int32, sub.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	ls := sub.BFS(0, nil, dist)
+	half := len(ls.Order) / 2
+	side := make([]int8, sub.N)
+	for i, v := range ls.Order {
+		if i < half {
+			side[v] = 0
+		} else {
+			side[v] = 2
+		}
+	}
+	for v := 0; v < sub.N; v++ {
+		if side[v] != 0 {
+			continue
+		}
+		for _, w := range sub.Neighbors(int32(v)) {
+			if side[w] == 2 {
+				side[v] = 1
+				break
+			}
+		}
+	}
+	for lv := 0; lv < sub.N; lv++ {
+		gv := glob[lv]
+		switch side[lv] {
+		case 0:
+			a = append(a, gv)
+		case 1:
+			sep = append(sep, gv)
+		default:
+			b = append(b, gv)
+		}
+	}
+	return sep, a, b
+}

@@ -1,0 +1,196 @@
+// Package simnet models the communication fabric: the transfer-time cost of
+// one-sided RMA operations between host and device memories on the same or
+// different nodes, with and without GPUDirect RDMA ("native" versus
+// "reference" memory kinds in the paper's Fig. 5), plus a two-sided MPI-like
+// path for the baseline solver.
+package simnet
+
+import "sympack/internal/machine"
+
+// MemKind distinguishes host and device buffers, mirroring UPC++ memory
+// kinds (paper §4.1).
+type MemKind uint8
+
+const (
+	Host MemKind = iota
+	Device
+)
+
+func (k MemKind) String() string {
+	if k == Host {
+		return "host"
+	}
+	return "device"
+}
+
+// Path identifies how a transfer is realized, for statistics and for the
+// Fig. 5 microbenchmark series.
+type Path uint8
+
+const (
+	// PathLocal is a same-process memcpy (no NIC).
+	PathLocal Path = iota
+	// PathHostHost is RDMA between two host segments.
+	PathHostHost
+	// PathGDR is zero-copy RDMA directly into/out of device memory
+	// (native memory kinds over GPUDirect RDMA).
+	PathGDR
+	// PathStaged bounces device data through host memory (reference
+	// memory kinds implementation).
+	PathStaged
+	// PathTwoSided is a rendezvous send/recv pair, the MPI baseline's
+	// transport; device buffers additionally stage unless the MPI is
+	// CUDA-aware (modeled GDR-like but with matching overhead).
+	PathTwoSided
+	// PathMPIGet is CUDA-aware one-sided MPI_Get into device memory, the
+	// comparator series of Fig. 5 (osu_get_bw): GDR-class bandwidth with
+	// slightly higher latency than UPC++ native memory kinds.
+	PathMPIGet
+)
+
+func (p Path) String() string {
+	switch p {
+	case PathLocal:
+		return "local"
+	case PathHostHost:
+		return "host-host"
+	case PathGDR:
+		return "gdr"
+	case PathStaged:
+		return "staged"
+	case PathTwoSided:
+		return "two-sided"
+	case PathMPIGet:
+		return "mpi-get"
+	default:
+		return "path?"
+	}
+}
+
+// Network wraps a machine model with transfer-time queries.
+type Network struct {
+	M machine.Machine
+}
+
+// New builds a network model on a machine description.
+func New(m machine.Machine) *Network { return &Network{M: m} }
+
+// Classify returns the path an RMA transfer takes between the given
+// endpoint kinds, given whether the endpoints share a process or a node.
+func (n *Network) Classify(src, dst MemKind, sameProcess, sameNode bool) Path {
+	if sameProcess {
+		return PathLocal
+	}
+	touchesDevice := src == Device || dst == Device
+	if !touchesDevice {
+		return PathHostHost
+	}
+	if n.M.GDR {
+		return PathGDR
+	}
+	return PathStaged
+}
+
+// Time returns the modeled seconds for moving `bytes` along a path.
+// Same-node inter-process transfers share memory in this in-process
+// simulation; they are charged the loopback cost below instead of the wire.
+func (n *Network) Time(p Path, bytes int64, sameNode bool) float64 {
+	m := &n.M
+	b := float64(bytes)
+	switch p {
+	case PathLocal:
+		// memcpy at memory bandwidth (~50 GB/s effective).
+		return 1e-7 + b/50e9
+	case PathHostHost:
+		lat, bw := m.NICLatency, m.NICBandwidth
+		if sameNode {
+			lat, bw = m.NICLatency/2, m.NICBandwidth*2 // shared-memory transport
+		}
+		return lat + b/bw
+	case PathGDR:
+		// Zero-copy: NIC writes device memory directly; slightly higher
+		// latency than host-host, same asymptotic bandwidth.
+		lat, bw := m.NICLatency*1.3, m.NICBandwidth
+		if sameNode {
+			// Same-node device transfers ride the PCIe/NVLink fabric.
+			return m.GPUCopyLatency + b/m.GPUCopyBandwidth
+		}
+		return lat + b/bw
+	case PathStaged:
+		// Wire transfer into a host bounce buffer, then a host↔device
+		// copy, plus progress-thread handoff overhead; the two stages
+		// serialize, which is what costs the 2–6× of Fig. 5.
+		wire := m.NICLatency + b/m.NICBandwidth
+		if sameNode {
+			wire = m.NICLatency/2 + b/(m.NICBandwidth*2)
+		}
+		bounce := m.GPUCopyLatency + b/m.StagingBandwidth
+		return m.StagingOverhead + wire + bounce
+	case PathMPIGet:
+		// One-sided MPI_Get over GDR: same zero-copy wire as native
+		// memory kinds, modestly higher initiation cost (window/flush
+		// bookkeeping) — the "within 20%" series of Fig. 5.
+		lat, bw := m.NICLatency*1.55, m.NICBandwidth*0.985
+		if sameNode {
+			lat, bw = m.NICLatency*0.7, m.NICBandwidth*1.9
+		}
+		return lat + b/bw
+	case PathTwoSided:
+		// Rendezvous: RTS/CTS handshake plus receiver-side matching
+		// before the wire moves — roughly three one-way latencies for a
+		// cross-node message. CUDA-aware MPI reaches GDR-like bandwidth
+		// with this higher latency (Fig. 5 shows MPI within 20% of
+		// native UPC++ on large transfers while losing on small ones).
+		lat, bw := m.NICLatency*3.2, m.NICBandwidth*0.95
+		if sameNode {
+			lat, bw = m.NICLatency, m.NICBandwidth*1.8
+		}
+		return lat + b/bw
+	default:
+		return 0
+	}
+}
+
+// Bandwidth returns the effective bandwidth (bytes/s) a flood of
+// back-to-back transfers of the given size achieves on a path, the metric
+// plotted in Fig. 5. A window of in-flight operations hides a fraction of
+// the per-transfer latency, as the flood benchmarks do.
+func (n *Network) Bandwidth(p Path, bytes int64, window int) float64 {
+	t := n.Time(p, bytes, false)
+	// The reference memory-kinds implementation pipelines poorly: its
+	// bounce-buffer pool bounds how many staged transfers can be in
+	// flight, so deep windows stop helping — a large part of why Fig. 5's
+	// gap is widest at small payloads.
+	if p == PathStaged && window > 24 {
+		window = 24
+	}
+	if window > 1 {
+		// Pipelining hides latency but not occupancy: the wire term
+		// stays, a share of the fixed costs overlaps.
+		fixed := t - float64(bytes)/n.wireRate(p)
+		t = fixed/float64(window) + float64(bytes)/n.wireRate(p)
+	}
+	return float64(bytes) / t
+}
+
+// wireRate returns the asymptotic byte rate of a path.
+func (n *Network) wireRate(p Path) float64 {
+	m := &n.M
+	switch p {
+	case PathLocal:
+		return 50e9
+	case PathHostHost:
+		return m.NICBandwidth
+	case PathGDR:
+		return m.NICBandwidth
+	case PathStaged:
+		// Serialized stages: harmonic combination of wire and bounce.
+		return 1 / (1/m.NICBandwidth + 1/m.StagingBandwidth)
+	case PathTwoSided:
+		return m.NICBandwidth * 0.95
+	case PathMPIGet:
+		return m.NICBandwidth * 0.985
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,110 @@
+package simnet
+
+import (
+	"testing"
+
+	"sympack/internal/machine"
+)
+
+func TestClassify(t *testing.T) {
+	native := New(machine.Perlmutter())
+	ref := New(machine.Perlmutter().WithoutGDR())
+
+	if p := native.Classify(Host, Host, true, true); p != PathLocal {
+		t.Fatalf("same-process = %v", p)
+	}
+	if p := native.Classify(Host, Host, false, false); p != PathHostHost {
+		t.Fatalf("host-host = %v", p)
+	}
+	if p := native.Classify(Host, Device, false, false); p != PathGDR {
+		t.Fatalf("native device path = %v", p)
+	}
+	if p := ref.Classify(Host, Device, false, false); p != PathStaged {
+		t.Fatalf("reference device path = %v", p)
+	}
+	if p := ref.Classify(Device, Host, false, false); p != PathStaged {
+		t.Fatalf("reference device src path = %v", p)
+	}
+}
+
+// The Fig. 5 shape: native memory kinds beat the reference implementation
+// by 2.3–5.9×, and MPI lands within ~20% of native across sizes.
+func TestFig5Ratios(t *testing.T) {
+	n := New(machine.Perlmutter())
+	const window = 64
+	for _, bytes := range []int64{8 << 10, 64 << 10, 1 << 20, 4 << 20} {
+		nat := n.Bandwidth(PathGDR, bytes, window)
+		ref := n.Bandwidth(PathStaged, bytes, window)
+		ratio := nat / ref
+		if ratio < 1.8 || ratio > 8 {
+			t.Fatalf("bytes=%d: native/reference ratio %.2f outside the paper's 2.3–5.9 regime", bytes, ratio)
+		}
+	}
+	// MPI (one-sided MPI_Get, the osu_get_bw series) stays within ~20% of
+	// native across the entire measured range, as the paper reports.
+	for _, bytes := range []int64{16, 256, 8 << 10, 64 << 10, 1 << 20, 4 << 20} {
+		gap := n.Bandwidth(PathGDR, bytes, window) / n.Bandwidth(PathMPIGet, bytes, window)
+		if gap < 0.8 || gap > 1.25 {
+			t.Fatalf("bytes=%d: native vs MPI gap %.2f, want within ~20%%", bytes, gap)
+		}
+	}
+	// The ratio must shrink with payload (5.9× at 8 KiB → 2.3× ≥ 1 MiB).
+	rSmall := n.Bandwidth(PathGDR, 8<<10, window) / n.Bandwidth(PathStaged, 8<<10, window)
+	rBig := n.Bandwidth(PathGDR, 4<<20, window) / n.Bandwidth(PathStaged, 4<<20, window)
+	if rSmall <= rBig {
+		t.Fatalf("ratio should shrink with size: small=%.2f big=%.2f", rSmall, rBig)
+	}
+}
+
+func TestTimeMonotoneInBytes(t *testing.T) {
+	n := New(machine.Perlmutter())
+	for _, p := range []Path{PathLocal, PathHostHost, PathGDR, PathStaged, PathTwoSided, PathMPIGet} {
+		prev := -1.0
+		for _, b := range []int64{16, 1 << 10, 1 << 16, 1 << 22} {
+			dt := n.Time(p, b, false)
+			if dt <= prev {
+				t.Fatalf("%v: time not monotone at %d bytes", p, b)
+			}
+			prev = dt
+		}
+	}
+}
+
+func TestSameNodeFaster(t *testing.T) {
+	n := New(machine.Perlmutter())
+	for _, p := range []Path{PathHostHost, PathStaged, PathTwoSided} {
+		if n.Time(p, 1<<20, true) >= n.Time(p, 1<<20, false) {
+			t.Fatalf("%v: same-node should be faster", p)
+		}
+	}
+}
+
+func TestBandwidthApproachesWire(t *testing.T) {
+	n := New(machine.Perlmutter())
+	bw := n.Bandwidth(PathHostHost, 64<<20, 64)
+	if bw < 0.8*n.M.NICBandwidth {
+		t.Fatalf("asymptotic bandwidth %.2g too far below wire %.2g", bw, n.M.NICBandwidth)
+	}
+	// Tiny payloads are latency-bound: far below wire speed.
+	if small := n.Bandwidth(PathHostHost, 16, 1); small > 0.05*n.M.NICBandwidth {
+		t.Fatalf("tiny transfer bandwidth %.2g implausibly high", small)
+	}
+}
+
+func TestWindowImprovesSmallTransferBandwidth(t *testing.T) {
+	n := New(machine.Perlmutter())
+	if n.Bandwidth(PathGDR, 4096, 64) <= n.Bandwidth(PathGDR, 4096, 1) {
+		t.Fatal("pipelining should raise small-message flood bandwidth")
+	}
+}
+
+func TestPathAndKindStrings(t *testing.T) {
+	for _, p := range []Path{PathLocal, PathHostHost, PathGDR, PathStaged, PathTwoSided, PathMPIGet} {
+		if p.String() == "path?" {
+			t.Fatalf("missing name for %d", p)
+		}
+	}
+	if Host.String() != "host" || Device.String() != "device" {
+		t.Fatal("kind strings")
+	}
+}

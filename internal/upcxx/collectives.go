@@ -1,0 +1,128 @@
+package upcxx
+
+import (
+	"sync"
+
+	"sympack/internal/simnet"
+)
+
+// UPC++-style collectives. The solver's hot paths use only the one-sided
+// primitives, but setup phases and applications use broadcasts and
+// reductions (upcxx::broadcast, upcxx::reduce_all), so the runtime provides
+// them. All collectives are barriers: every rank must call them in the same
+// order with matching arguments, as in UPC++.
+
+// collective state lives on the runtime, guarded by its own lock.
+type collectiveState struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	gen   int64
+	count int
+	buf   []float64
+	rbuf  []float64
+}
+
+func (rt *Runtime) coll() *collectiveState {
+	rt.collOnce.Do(func() {
+		rt.collSt = &collectiveState{}
+		rt.collSt.cond = sync.NewCond(&rt.collSt.mu)
+	})
+	return rt.collSt
+}
+
+// Broadcast distributes the root's buffer to every rank: on the root,
+// data's contents are the source; on other ranks, data receives the values.
+// Modeled cost: a binomial tree of host-host messages.
+func (r *Rank) Broadcast(root int, data []float64) error {
+	cs := r.rt.coll()
+	cs.mu.Lock()
+	if r.ID == root {
+		cs.buf = append(cs.buf[:0], data...)
+	}
+	err := r.collWaitLocked(cs)
+	if err == nil && r.ID != root {
+		copy(data, cs.buf)
+	}
+	cs.mu.Unlock()
+	r.chargeCollective(len(data))
+	return err
+}
+
+// ReduceOp is a binary reduction operator.
+type ReduceOp func(a, b float64) float64
+
+// OpSum and OpMax are the common reductions.
+func OpSum(a, b float64) float64 { return a + b }
+func OpMax(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AllReduce combines every rank's data element-wise with op; on return each
+// rank's data holds the reduction. Modeled cost: a recursive-doubling
+// exchange.
+func (r *Rank) AllReduce(op ReduceOp, data []float64) error {
+	cs := r.rt.coll()
+	cs.mu.Lock()
+	if cs.count == 0 {
+		cs.rbuf = append(cs.rbuf[:0], data...)
+	} else {
+		for i := range data {
+			cs.rbuf[i] = op(cs.rbuf[i], data[i])
+		}
+	}
+	err := r.collWaitLocked(cs)
+	if err == nil {
+		copy(data, cs.rbuf)
+	}
+	cs.mu.Unlock()
+	r.chargeCollective(len(data))
+	return err
+}
+
+// collWaitLocked implements the rendezvous: the last arriving rank releases
+// the generation; later collectives reuse the state. cs.mu must be held.
+func (r *Rank) collWaitLocked(cs *collectiveState) error {
+	if r.rt.ShouldAbort() {
+		return ErrAborted
+	}
+	gen := cs.gen
+	cs.count++
+	if cs.count == r.rt.P() {
+		cs.count = 0
+		cs.gen++
+		cs.cond.Broadcast()
+		return nil
+	}
+	for gen == cs.gen && !r.rt.ShouldAbort() {
+		cs.cond.Wait()
+	}
+	if r.rt.ShouldAbort() {
+		return ErrAborted
+	}
+	return nil
+}
+
+// chargeCollective accounts a log(P)-depth tree exchange of the payload.
+func (r *Rank) chargeCollective(elems int) {
+	p := r.rt.P()
+	depth := 0
+	for 1<<depth < p {
+		depth++
+	}
+	if depth == 0 {
+		return
+	}
+	per := r.rt.net.Time(simnet.PathHostHost, int64(elems*8), false)
+	r.Charge(float64(depth) * per)
+}
+
+// abortCollectives releases any ranks blocked inside a collective.
+func (rt *Runtime) abortCollectives() {
+	cs := rt.coll()
+	cs.mu.Lock()
+	cs.cond.Broadcast()
+	cs.mu.Unlock()
+}

@@ -1,0 +1,429 @@
+// Package upcxx is the in-process substitute for the UPC++ PGAS library the
+// paper builds on (§3.4, §4.1). It provides the primitives symPACK's
+// communication paradigm is written against:
+//
+//   - ranks with private memory and global pointers carrying affinity;
+//   - one-sided RMA (Rget/Rput) that moves data without involving the
+//     remote rank's execution stream;
+//   - remote procedure calls enqueued on the target and executed when the
+//     target calls Progress() — the paper's signal(ptr,meta) notification;
+//   - memory kinds: global pointers to device memory allocated from a
+//     per-rank device allocator, and a device-aware Copy() that models the
+//     zero-copy GPUDirect path (or the staged reference path) between any
+//     combination of host and device memories on any ranks.
+//
+// Ranks run as goroutines inside one process, so "RMA" is a memcpy; the
+// modeled time of each transfer is computed by internal/simnet and
+// accounted on the initiating rank's virtual clock, while correctness
+// (who may read what, when) follows the same notification discipline the
+// real library requires.
+package upcxx
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sympack/internal/gpu"
+	"sympack/internal/machine"
+	"sympack/internal/simnet"
+)
+
+// Config describes the simulated job layout.
+type Config struct {
+	Ranks        int
+	RanksPerNode int // 0 = all ranks on one node
+	GPUsPerNode  int // 0 = no devices
+	Machine      machine.Machine
+	// DeviceCapacity is the per-device memory in float64 elements
+	// (0 = unbounded). All ranks bound to a device share its capacity,
+	// as on a real node.
+	DeviceCapacity int64
+}
+
+// Runtime is one simulated UPC++ job.
+type Runtime struct {
+	cfg     Config
+	net     *simnet.Network
+	ranks   []*Rank
+	devices []*gpu.Device
+	bar     *barrier
+
+	aborted atomic.Bool
+	failMu  sync.Mutex
+	failErr error
+
+	collOnce sync.Once
+	collSt   *collectiveState
+
+	Stats Stats
+}
+
+// Stats aggregates communication counters across the job; all fields are
+// updated atomically and may be read after Run returns.
+type Stats struct {
+	RPCs    atomic.Int64
+	Rgets   atomic.Int64
+	Rputs   atomic.Int64
+	Copies  atomic.Int64
+	ByPath  [6]atomic.Int64 // transfer count per simnet.Path
+	Bytes   [6]atomic.Int64 // bytes per simnet.Path
+	Dropped atomic.Int64    // RPCs delivered after abort
+}
+
+// NewRuntime creates a runtime with the given layout.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("upcxx: need at least one rank, got %d", cfg.Ranks)
+	}
+	if cfg.RanksPerNode <= 0 {
+		cfg.RanksPerNode = cfg.Ranks
+	}
+	rt := &Runtime{
+		cfg: cfg,
+		net: simnet.New(cfg.Machine),
+		bar: newBarrier(cfg.Ranks),
+	}
+	nodes := (cfg.Ranks + cfg.RanksPerNode - 1) / cfg.RanksPerNode
+	if cfg.GPUsPerNode > 0 {
+		rt.devices = make([]*gpu.Device, nodes*cfg.GPUsPerNode)
+		for i := range rt.devices {
+			rt.devices[i] = gpu.NewDevice(i, cfg.Machine, cfg.DeviceCapacity)
+		}
+	}
+	rt.ranks = make([]*Rank, cfg.Ranks)
+	for i := 0; i < cfg.Ranks; i++ {
+		r := &Rank{ID: i, rt: rt}
+		if cfg.GPUsPerNode > 0 {
+			// The paper's recommended binding: process p on its node is
+			// bound to device (p mod d).
+			node := i / cfg.RanksPerNode
+			local := i % cfg.RanksPerNode
+			r.device = rt.devices[node*cfg.GPUsPerNode+local%cfg.GPUsPerNode]
+		}
+		rt.ranks[i] = r
+	}
+	return rt, nil
+}
+
+// P returns the rank count.
+func (rt *Runtime) P() int { return rt.cfg.Ranks }
+
+// Network exposes the transfer-cost model.
+func (rt *Runtime) Network() *simnet.Network { return rt.net }
+
+// Node returns the node index hosting a rank.
+func (rt *Runtime) Node(rank int) int { return rank / rt.cfg.RanksPerNode }
+
+// Devices returns the simulated devices (one slice entry per physical GPU).
+func (rt *Runtime) Devices() []*gpu.Device { return rt.devices }
+
+// Fail records the first error and aborts the job: barriers release and
+// ShouldAbort turns true everywhere.
+func (rt *Runtime) Fail(err error) {
+	rt.failMu.Lock()
+	if rt.failErr == nil {
+		rt.failErr = err
+	}
+	rt.failMu.Unlock()
+	rt.aborted.Store(true)
+	rt.bar.abort()
+	rt.abortCollectives()
+}
+
+// Err returns the recorded failure, if any.
+func (rt *Runtime) Err() error {
+	rt.failMu.Lock()
+	defer rt.failMu.Unlock()
+	return rt.failErr
+}
+
+// ShouldAbort reports whether the job is aborting.
+func (rt *Runtime) ShouldAbort() bool { return rt.aborted.Load() }
+
+// Run executes f once per rank, each in its own goroutine, and waits for
+// all to return. A panicking rank aborts the whole job and surfaces as an
+// error. Run may be called repeatedly (phases).
+func (rt *Runtime) Run(f func(r *Rank)) error {
+	var wg sync.WaitGroup
+	wg.Add(len(rt.ranks))
+	for _, r := range rt.ranks {
+		go func(r *Rank) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					rt.Fail(fmt.Errorf("upcxx: rank %d panicked: %v", r.ID, p))
+				}
+			}()
+			f(r)
+		}(r)
+	}
+	wg.Wait()
+	return rt.Err()
+}
+
+// ErrAborted is returned by Barrier when the job failed.
+var ErrAborted = errors.New("upcxx: job aborted")
+
+// ---------------------------------------------------------------- Rank ----
+
+// Rank is one simulated UPC++ process.
+type Rank struct {
+	ID int
+	rt *Runtime
+
+	qmu  sync.Mutex
+	rpcq []func(*Rank)
+
+	device *gpu.Device
+	clock  machine.Clock
+}
+
+// Runtime returns the owning runtime.
+func (r *Rank) Runtime() *Runtime { return r.rt }
+
+// Device returns the GPU this rank is bound to (nil when the job has no
+// devices).
+func (r *Rank) Device() *gpu.Device { return r.device }
+
+// Charge adds modeled seconds to this rank's virtual clock. Kernels and
+// transfers executed on behalf of the rank call it; user code may too.
+func (r *Rank) Charge(dt float64) { r.clock.Advance(dt) }
+
+// Elapsed returns the rank's accumulated virtual seconds.
+func (r *Rank) Elapsed() float64 { return r.clock.Seconds() }
+
+// ResetClock zeroes the rank's virtual clock (between phases).
+func (r *Rank) ResetClock() { r.clock.Reset() }
+
+// Barrier blocks until every rank arrives (or the job aborts).
+func (r *Rank) Barrier() error { return r.rt.bar.await(r.rt) }
+
+// ------------------------------------------------------- global memory ----
+
+// GlobalPtr references memory with affinity to a rank, possibly device
+// memory (memory kinds). The zero value is a null pointer.
+type GlobalPtr struct {
+	Rank int32
+	Kind simnet.MemKind
+	Data []float64 // aliases the owner's storage
+}
+
+// IsNil reports whether the pointer is null.
+func (g GlobalPtr) IsNil() bool { return g.Data == nil }
+
+// Len returns the referenced element count.
+func (g GlobalPtr) Len() int { return len(g.Data) }
+
+// Slice returns a sub-pointer covering elements [lo, hi).
+func (g GlobalPtr) Slice(lo, hi int) GlobalPtr {
+	return GlobalPtr{Rank: g.Rank, Kind: g.Kind, Data: g.Data[lo:hi]}
+}
+
+// NewArray allocates n elements of host shared-segment memory with affinity
+// to this rank and returns a global pointer to it.
+func (r *Rank) NewArray(n int) GlobalPtr {
+	return GlobalPtr{Rank: int32(r.ID), Kind: simnet.Host, Data: make([]float64, n)}
+}
+
+// DeviceAlloc allocates n elements on this rank's device via the device
+// allocator (upcxx::device_allocator). It returns gpu.ErrOutOfMemory when
+// the device is full — the trigger for the solver's fallback options — and
+// an error when the job has no devices.
+func (r *Rank) DeviceAlloc(n int) (GlobalPtr, *gpu.Buffer, error) {
+	if r.device == nil {
+		return GlobalPtr{}, nil, errors.New("upcxx: rank has no device")
+	}
+	buf, err := r.device.Alloc(n)
+	if err != nil {
+		return GlobalPtr{}, nil, err
+	}
+	return GlobalPtr{Rank: int32(r.ID), Kind: simnet.Device, Data: buf.Data}, buf, nil
+}
+
+// DeviceFree releases a device allocation.
+func (r *Rank) DeviceFree(buf *gpu.Buffer) {
+	if r.device == nil || buf == nil {
+		return
+	}
+	r.device.Free(buf)
+}
+
+// ------------------------------------------------------------- futures ----
+
+// Future represents a (already internally completed) asynchronous
+// operation, carrying its modeled duration. Callers chain work with Then
+// and synchronize with Wait, mirroring upcxx::future.
+type Future struct {
+	seconds float64
+}
+
+// Wait blocks until the operation is complete (a no-op in-process) and
+// returns its modeled duration.
+func (f Future) Wait() float64 { return f.seconds }
+
+// Seconds returns the modeled duration without waiting.
+func (f Future) Seconds() float64 { return f.seconds }
+
+// Then runs fn after completion and returns the future for chaining.
+func (f Future) Then(fn func()) Future {
+	fn()
+	return f
+}
+
+// ------------------------------------------------------------------ RPC ----
+
+// RPC enqueues fn for execution on the target rank the next time it calls
+// Progress(). This is the paper's producer-side notification (Fig. 4 step
+// 1): fire-and-forget, no reply.
+func (r *Rank) RPC(target int, fn func(*Rank)) {
+	rt := r.rt
+	if rt.ShouldAbort() {
+		rt.Stats.Dropped.Add(1)
+		return
+	}
+	t := rt.ranks[target]
+	t.qmu.Lock()
+	t.rpcq = append(t.rpcq, fn)
+	t.qmu.Unlock()
+	rt.Stats.RPCs.Add(1)
+	// A small active message: charge its latency to the initiator.
+	r.Charge(rt.net.Time(simnet.PathHostHost, 64, rt.Node(r.ID) == rt.Node(target)))
+}
+
+// Progress executes all RPCs currently queued on this rank (Fig. 4 steps
+// 2–4) and returns how many ran.
+func (r *Rank) Progress() int {
+	r.qmu.Lock()
+	q := r.rpcq
+	r.rpcq = nil
+	r.qmu.Unlock()
+	for _, fn := range q {
+		fn(r)
+	}
+	return len(q)
+}
+
+// PendingRPCs reports the queued-but-unexecuted RPC count.
+func (r *Rank) PendingRPCs() int {
+	r.qmu.Lock()
+	defer r.qmu.Unlock()
+	return len(r.rpcq)
+}
+
+// -------------------------------------------------------------- RMA ops ----
+
+func (r *Rank) account(p simnet.Path, bytes int64, sameNode bool) float64 {
+	rt := r.rt
+	rt.Stats.ByPath[p].Add(1)
+	rt.Stats.Bytes[p].Add(bytes)
+	dt := rt.net.Time(p, bytes, sameNode)
+	r.Charge(dt)
+	return dt
+}
+
+// Rget copies Len elements from a (possibly remote) source into local host
+// memory — upcxx::rget, the one-sided pull of Fig. 4 step 5.
+func (r *Rank) Rget(src GlobalPtr, dst []float64) Future {
+	if len(dst) != src.Len() {
+		panic(fmt.Sprintf("upcxx: Rget length mismatch %d vs %d", len(dst), src.Len()))
+	}
+	copy(dst, src.Data)
+	same := src.Rank == int32(r.ID)
+	p := r.rt.net.Classify(src.Kind, simnet.Host, same, r.sameNode(src.Rank))
+	r.rt.Stats.Rgets.Add(1)
+	return Future{seconds: r.account(p, int64(len(dst)*8), r.sameNode(src.Rank))}
+}
+
+// Rput copies local host data into a (possibly remote) destination —
+// upcxx::rput.
+func (r *Rank) Rput(src []float64, dst GlobalPtr) Future {
+	if len(src) != dst.Len() {
+		panic(fmt.Sprintf("upcxx: Rput length mismatch %d vs %d", len(src), dst.Len()))
+	}
+	copy(dst.Data, src)
+	same := dst.Rank == int32(r.ID)
+	p := r.rt.net.Classify(simnet.Host, dst.Kind, same, r.sameNode(dst.Rank))
+	r.rt.Stats.Rputs.Add(1)
+	return Future{seconds: r.account(p, int64(len(src)*8), r.sameNode(dst.Rank))}
+}
+
+// Copy moves data between any two global pointers regardless of kind or
+// affinity — upcxx::copy(), the memory-kinds workhorse (§4.1). With GDR
+// enabled a host→remote-device copy is zero-copy; without it the transfer
+// stages through host memory, exactly the difference Fig. 5 measures.
+func (r *Rank) Copy(src, dst GlobalPtr) Future {
+	if src.Len() != dst.Len() {
+		panic(fmt.Sprintf("upcxx: Copy length mismatch %d vs %d", src.Len(), dst.Len()))
+	}
+	copy(dst.Data, src.Data)
+	same := src.Rank == dst.Rank
+	sameNode := r.rt.Node(int(src.Rank)) == r.rt.Node(int(dst.Rank))
+	var p simnet.Path
+	if same {
+		if src.Kind != dst.Kind {
+			// Host↔device within one process: PCIe copy.
+			r.rt.Stats.Copies.Add(1)
+			dt := r.rt.cfg.Machine.HostDeviceCopyTime(int64(src.Len() * 8))
+			r.Charge(dt)
+			return Future{seconds: dt}
+		}
+		p = simnet.PathLocal
+	} else {
+		p = r.rt.net.Classify(src.Kind, dst.Kind, false, sameNode)
+	}
+	r.rt.Stats.Copies.Add(1)
+	return Future{seconds: r.account(p, int64(src.Len()*8), sameNode)}
+}
+
+func (r *Rank) sameNode(other int32) bool {
+	return r.rt.Node(r.ID) == r.rt.Node(int(other))
+}
+
+// -------------------------------------------------------------- barrier ----
+
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	p       int
+	count   int
+	gen     int
+	aborted bool
+}
+
+func newBarrier(p int) *barrier {
+	b := &barrier{p: p}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await(rt *Runtime) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.aborted {
+		return ErrAborted
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.p {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return nil
+	}
+	for gen == b.gen && !b.aborted {
+		b.cond.Wait()
+	}
+	if b.aborted {
+		return ErrAborted
+	}
+	return nil
+}
+
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

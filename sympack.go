@@ -1,0 +1,240 @@
+// Package sympack is a Go reproduction of symPACK, the GPU-capable fan-out
+// sparse Cholesky solver of Bellavita et al. (SC-W 2023,
+// doi:10.1145/3624062.3624600). It factors sparse symmetric positive
+// definite systems A = L·Lᵀ with an asynchronous task-based supernodal
+// algorithm executed over a simulated UPC++-style PGAS runtime, optionally
+// offloading large block operations to simulated GPUs with the paper's
+// per-operation size thresholds and memory-kinds transfers.
+//
+// # Quick start
+//
+//	A := sympack.Laplace2D(100, 100)       // or build via sympack.NewBuilder
+//	f, err := sympack.Factorize(A, sympack.Options{Ranks: 4})
+//	if err != nil { ... }
+//	x, err := f.Solve(b)
+//
+// The package also exposes the right-looking baseline solver used in the
+// paper's evaluation (SolveOnce with UseBaseline), matrix generators for
+// the paper's three test-problem regimes, Matrix Market / Rutherford-Boeing
+// I/O, and the strong-scaling performance model that regenerates the
+// paper's figures (see cmd/benchfig).
+package sympack
+
+import (
+	"io"
+
+	"sympack/internal/baseline"
+	"sympack/internal/core"
+	"sympack/internal/gen"
+	"sympack/internal/gpu"
+	"sympack/internal/machine"
+	"sympack/internal/matrix"
+	"sympack/internal/ordering"
+	"sympack/internal/symbolic"
+	"sympack/internal/trace"
+)
+
+// Matrix is a sparse symmetric matrix holding the lower triangle in
+// compressed sparse column form.
+type Matrix = matrix.SparseSym
+
+// Builder accumulates matrix entries in coordinate form; symmetric pairs
+// are stored once (either triangle).
+type Builder = matrix.COO
+
+// NewBuilder returns an n×n coordinate-format builder.
+func NewBuilder(n int) *Builder { return matrix.NewCOO(n) }
+
+// OrderingKind selects a fill-reducing ordering for Options.Ordering.
+type OrderingKind = ordering.Kind
+
+// Ordering names re-exported for Options.
+const (
+	OrderNatural          = ordering.Natural
+	OrderRCM              = ordering.RCM
+	OrderMinDegree        = ordering.MinDegree
+	OrderNestedDissection = ordering.NestedDissection // the Scotch stand-in
+)
+
+// Thresholds are the per-operation GPU offload sizes (§4.2 of the paper).
+type Thresholds = gpu.Thresholds
+
+// DefaultThresholds returns the tuned offload thresholds.
+func DefaultThresholds() Thresholds { return gpu.DefaultThresholds() }
+
+// AnalyticThresholds derives offload thresholds from a machine's cost
+// model — the hardware-agnostic framework the paper's §6 calls for.
+func AnalyticThresholds(m Machine) Thresholds { return gpu.AnalyticThresholds(m) }
+
+// Fallback policies on device out-of-memory (§4.2).
+const (
+	FallbackCPU   = gpu.FallbackCPU
+	FallbackError = gpu.FallbackError
+)
+
+// Options configures Factorize. The zero value runs a single-rank CPU
+// factorization with nested-dissection ordering.
+type Options = core.Options
+
+// SchedulingPolicy orders the engine's ready task queue (paper §3.4).
+type SchedulingPolicy = core.SchedulingPolicy
+
+// Scheduling policies for Options.Scheduling.
+const (
+	SchedFIFO         = core.SchedFIFO
+	SchedLIFO         = core.SchedLIFO
+	SchedCriticalPath = core.SchedCriticalPath
+)
+
+// Factor is a completed Cholesky factorization; call Solve or SolveMulti.
+type Factor = core.Factor
+
+// Stats describes what a factorization did (kernel counts per rank, wall
+// and modeled time, structural sizes).
+type Stats = core.Stats
+
+// ErrNotPositiveDefinite is returned when the input matrix is not SPD.
+var ErrNotPositiveDefinite = core.ErrNotPositiveDefinite
+
+// Factorize computes the sparse Cholesky factorization of a using the
+// fan-out distributed algorithm of the paper.
+func Factorize(a *Matrix, opt Options) (*Factor, error) {
+	return core.Factorize(a, opt)
+}
+
+// Analysis is a reusable symbolic factorization: the ordering, supernode
+// partition and block structure of a matrix's sparsity pattern. Matrices
+// sharing a pattern (e.g. A − σI for varying σ, the PEXSI workload of
+// §5.3) can be factored repeatedly against one Analysis.
+type Analysis struct {
+	st  *symbolic.Structure
+	opt Options
+}
+
+// Analyze runs the symbolic phase once for a matrix's sparsity pattern.
+func Analyze(a *Matrix, opt Options) (*Analysis, error) {
+	ord := opt.Ordering
+	if ord == 0 {
+		ord = ordering.NestedDissection
+	}
+	sopt := symbolic.DefaultOptions()
+	if opt.Symbolic != nil {
+		sopt = *opt.Symbolic
+	}
+	st, _, err := symbolic.Analyze(a, ord, sopt)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{st: st, opt: opt}, nil
+}
+
+// NumSupernodes reports the supernode count of the analyzed structure.
+func (an *Analysis) NumSupernodes() int { return an.st.NumSupernodes() }
+
+// NnzFactor reports the factor's stored nonzeros (padding included).
+func (an *Analysis) NnzFactor() int64 { return an.st.NnzL }
+
+// Flops reports the factorization's floating-point operation count.
+func (an *Analysis) Flops() int64 { return an.st.FactorFlop }
+
+// Factorize numerically factors a matrix with this analysis's pattern. The
+// matrix must have the same sparsity structure as the one analyzed.
+func (an *Analysis) Factorize(a *Matrix) (*Factor, error) {
+	pa, err := a.Permute(an.st.Perm)
+	if err != nil {
+		return nil, err
+	}
+	return core.FactorizeAnalyzed(an.st, pa, an.opt)
+}
+
+// LoadFactor reads a factor previously written with Factor.Save, ready to
+// solve and compute selected inverses.
+func LoadFactor(r io.Reader) (*Factor, error) { return core.LoadFactor(r) }
+
+// SolveOnce factors and solves in one call, returning x with A·x = b.
+func SolveOnce(a *Matrix, b []float64, opt Options) ([]float64, error) {
+	f, err := Factorize(a, opt)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// BaselineFactor is a factorization computed by the right-looking baseline
+// solver (the PaStiX-like comparator of the paper's §5.3).
+type BaselineFactor = baseline.Factor
+
+// FactorizeBaseline runs the right-looking baseline solver.
+func FactorizeBaseline(a *Matrix, ord ordering.Kind) (*BaselineFactor, error) {
+	return baseline.Factorize(a, baseline.Options{Ordering: ord})
+}
+
+// TraceRecorder records per-task execution events; pass one via
+// Options.Trace and export with WriteChromeTrace.
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder returns a recorder whose clock starts now.
+func NewTraceRecorder() *TraceRecorder { return trace.New() }
+
+// SelInv is a selected inverse: A⁻¹ restricted to the factor's sparsity
+// pattern (the PEXSI computation of the paper's §5.3); see
+// Factor.SelectedInverse.
+type SelInv = core.SelInv
+
+// ResidualNorm returns ‖b − A·x‖₂/‖b‖₂.
+func ResidualNorm(a *Matrix, x, b []float64) float64 {
+	return core.ResidualNorm(a, x, b)
+}
+
+// ---------------------------------------------------------- generators ----
+
+// Laplace2D returns the 5-point Laplacian on an nx×ny grid (SPD).
+func Laplace2D(nx, ny int) *Matrix { return gen.Laplace2D(nx, ny) }
+
+// Laplace3D returns the 7-point Laplacian on an nx×ny×nz grid (SPD).
+func Laplace3D(nx, ny, nz int) *Matrix { return gen.Laplace3D(nx, ny, nz) }
+
+// Flan3D generates a Flan_1565-like 3D elasticity problem (3 dof per node,
+// dense supernodes).
+func Flan3D(nx, ny, nz int, seed int64) *Matrix { return gen.Flan3D(nx, ny, nz, seed) }
+
+// Bone3D generates a boneS10-like porous 3D structure.
+func Bone3D(nx, ny, nz int, porosity float64, seed int64) *Matrix {
+	return gen.Bone3D(nx, ny, nz, porosity, seed)
+}
+
+// Thermal2D generates a thermal2-like very sparse irregular problem.
+func Thermal2D(nx, ny, voids int, seed int64) *Matrix {
+	return gen.Thermal2D(nx, ny, voids, seed)
+}
+
+// RandomSPD returns a random SPD matrix with the given lower-triangle
+// density.
+func RandomSPD(n int, density float64, seed int64) *Matrix {
+	return gen.RandomSPD(n, density, seed)
+}
+
+// ------------------------------------------------------------------ I/O ----
+
+// ReadMatrixMarket parses a Matrix Market coordinate stream.
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) { return matrix.ReadMatrixMarket(r) }
+
+// WriteMatrixMarket writes a matrix in Matrix Market form.
+func WriteMatrixMarket(w io.Writer, a *Matrix) error { return matrix.WriteMatrixMarket(w, a) }
+
+// ReadRutherfordBoeing parses a Rutherford-Boeing symmetric matrix.
+func ReadRutherfordBoeing(r io.Reader) (*Matrix, error) { return matrix.ReadRutherfordBoeing(r) }
+
+// WriteRutherfordBoeing writes a matrix in Rutherford-Boeing form.
+func WriteRutherfordBoeing(w io.Writer, a *Matrix, title string) error {
+	return matrix.WriteRutherfordBoeing(w, a, title)
+}
+
+// ------------------------------------------------------------- machine ----
+
+// Machine is a platform cost model for the simulated runtime.
+type Machine = machine.Machine
+
+// Perlmutter returns the NERSC Perlmutter GPU-node model used throughout
+// the paper's evaluation.
+func Perlmutter() Machine { return machine.Perlmutter() }
