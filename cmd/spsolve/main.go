@@ -33,15 +33,43 @@ func main() {
 		saveFac = flag.String("save-factor", "", "write the factor to this file and exit if no rhs given")
 		loadFac = flag.String("load-factor", "", "load a factor instead of factoring")
 		selDiag = flag.String("selinv-diag", "", "write diag(A⁻¹) to this file (selected inversion)")
+		chaos   = flag.Int64("chaos", 0, "run under the default chaos fault plan with this seed (0 = off)")
+		faultsF = flag.String("faults", "", "explicit fault plan, e.g. drop=0.05,delay=0.1 (seeded by -chaos, default 1)")
 	)
 	flag.Parse()
-	if err := run(*matPath, *rhsPath, *outPath, *ranks, *gpus, *ordName, *refine, *saveFac, *loadFac, *selDiag); err != nil {
+	plan, err := faultPlan(*faultsF, *chaos)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spsolve:", err)
+		os.Exit(1)
+	}
+	if err := run(*matPath, *rhsPath, *outPath, *ranks, *gpus, *ordName, *refine, *saveFac, *loadFac, *selDiag, plan); err != nil {
 		fmt.Fprintln(os.Stderr, "spsolve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(matPath, rhsPath, outPath string, ranks, gpus int, ordName string, refine bool, saveFac, loadFac, selDiag string) error {
+// faultPlan resolves the -chaos / -faults flags into an optional plan.
+func faultPlan(spec string, chaos int64) (*sympack.FaultPlan, error) {
+	switch {
+	case spec != "":
+		s := chaos
+		if s == 0 {
+			s = 1
+		}
+		p, err := sympack.ParseFaultPlan(spec, s)
+		if err != nil {
+			return nil, err
+		}
+		return &p, nil
+	case chaos != 0:
+		p := sympack.DefaultChaosPlan(chaos)
+		return &p, nil
+	default:
+		return nil, nil
+	}
+}
+
+func run(matPath, rhsPath, outPath string, ranks, gpus int, ordName string, refine bool, saveFac, loadFac, selDiag string, plan *sympack.FaultPlan) error {
 	var (
 		a   *sympack.Matrix
 		f   *sympack.Factor
@@ -74,13 +102,16 @@ func run(matPath, rhsPath, outPath string, ranks, gpus int, ordName string, refi
 			return err
 		}
 		f, err = sympack.Factorize(a, sympack.Options{
-			Ranks: ranks, GPUsPerNode: gpus, Ordering: ord,
+			Ranks: ranks, GPUsPerNode: gpus, Ordering: ord, Faults: plan,
 		})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "spsolve: factored n=%d nnz=%d in %v (nnz(L)=%d)\n",
 			a.N, a.NnzFull(), f.Stats.Wall, f.Stats.NnzL)
+		if f.Stats.Faults.Any() {
+			fmt.Fprintf(os.Stderr, "spsolve: faults injected/recovered: %s\n", f.Stats.Faults)
+		}
 	default:
 		return fmt.Errorf("one of -A or -load-factor is required")
 	}

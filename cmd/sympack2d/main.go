@@ -41,6 +41,8 @@ func main() {
 		distSol  = flag.Bool("dist-solve", true, "use the distributed triangular solve")
 		seed     = flag.Int64("seed", 1, "generator / RHS seed")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event timeline of the factorization to this file")
+		chaos    = flag.Int64("chaos", 0, "run under the default chaos fault plan with this seed (0 = off)")
+		faultStr = flag.String("faults", "", "explicit fault plan, e.g. drop=0.05,delay=0.1,oom=0.1/20 (uses -chaos or -seed as the plan seed)")
 	)
 	flag.Parse()
 
@@ -71,9 +73,18 @@ func main() {
 		rec = trace.New()
 		opt.Trace = rec
 	}
+	plan, planDesc, err := faultPlan(*faultStr, *chaos, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sympack2d:", err)
+		os.Exit(1)
+	}
+	opt.Faults = plan
 
 	fmt.Printf("matrix: %s  n=%d  nnz=%d  ordering=%v  ranks=%d  gpus/node=%d\n",
 		name, a.N, a.NnzFull(), ord, *ranks, *gpus)
+	if plan != nil {
+		fmt.Printf("fault injection: %s  (seed %d)\n", planDesc, plan.Seed)
+	}
 
 	f, err := sympack.Factorize(a, opt)
 	if err != nil {
@@ -87,6 +98,9 @@ func main() {
 		st.NnzL, float64(st.FactorFlop), float64(st.NnzL)/float64(a.Nnz()))
 	if st.FallbacksOOM > 0 {
 		fmt.Printf("device OOM fallbacks to CPU: %d\n", st.FallbacksOOM)
+	}
+	if st.Faults.Any() {
+		fmt.Printf("faults injected/recovered: %s\n", st.Faults)
 	}
 
 	rng := rand.New(rand.NewSource(*seed + 100))
@@ -110,6 +124,10 @@ func main() {
 			r, f.SolveStats.Wall, sympack.ResidualNorm(a, x, b))
 	}
 
+	if f.SolveStats.Faults.Any() {
+		fmt.Printf("solve faults injected/recovered: %s\n", f.SolveStats.Faults)
+	}
+
 	if *gpuV {
 		printWorkloadSplit(f)
 	}
@@ -131,6 +149,29 @@ func main() {
 		for rank := 0; rank < *ranks; rank++ {
 			fmt.Printf("  rank %2d: %5.1f%%\n", rank, 100*util[int32(rank)])
 		}
+	}
+}
+
+// faultPlan resolves the -chaos / -faults flags into an optional plan. An
+// explicit -faults spec wins and is seeded by -chaos when given (else the
+// run seed); -chaos alone selects the default chaos plan.
+func faultPlan(spec string, chaos, seed int64) (*sympack.FaultPlan, string, error) {
+	switch {
+	case spec != "":
+		s := chaos
+		if s == 0 {
+			s = seed
+		}
+		p, err := sympack.ParseFaultPlan(spec, s)
+		if err != nil {
+			return nil, "", err
+		}
+		return &p, p.String(), nil
+	case chaos != 0:
+		p := sympack.DefaultChaosPlan(chaos)
+		return &p, p.String(), nil
+	default:
+		return nil, "", nil
 	}
 }
 

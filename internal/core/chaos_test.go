@@ -1,0 +1,301 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"sympack/internal/faults"
+	"sympack/internal/gen"
+	"sympack/internal/gpu"
+	"sympack/internal/matrix"
+)
+
+// chaosSeeds returns the seed set of the chaos suite. CI's chaos matrix job
+// widens it through CHAOS_EXTRA_SEED without a code change.
+func chaosSeeds(t *testing.T) []int64 {
+	seeds := []int64{1, 2, 3}
+	if s := os.Getenv("CHAOS_EXTRA_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_EXTRA_SEED=%q: %v", s, err)
+		}
+		seeds = append(seeds, v)
+	}
+	return seeds
+}
+
+// planWith builds a plan injecting a single fault class.
+func planWith(seed int64, c faults.Class, rate float64) *faults.Plan {
+	p := &faults.Plan{Seed: seed}
+	p.Rate[c] = rate
+	return p
+}
+
+// distSolveCheck runs the distributed solve (which shares the factor's
+// fault plan through a restricted injector) and returns the residual.
+func distSolveCheck(t *testing.T, a *matrix.SparseSym, f *Factor, seed int64) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	xTrue := make([]float64, a.N)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := a.MulVec(xTrue)
+	x, err := f.SolveDistributed(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ResidualNorm(a, x, b)
+}
+
+// TestChaosMatrix is the acceptance grid: every fault class, injected at an
+// aggressive rate, across seeds and rank counts, must leave both the factor
+// and the distributed solve numerically exact. Transient faults never
+// hard-abort; recovery is the protocol's job, not the caller's.
+func TestChaosMatrix(t *testing.T) {
+	a := gen.Laplace2D(9, 8)
+	th := gpu.Thresholds{Potrf: 1, Trsm: 1, Syrk: 1, Gemm: 1}
+	cases := []struct {
+		name string
+		c    faults.Class
+		rate float64
+		gpus int
+	}{
+		{"drop", faults.DropSignal, 0.3, 0},
+		{"dup", faults.DupSignal, 0.3, 0},
+		{"delay", faults.DelaySignal, 0.4, 0},
+		{"transfer", faults.TransientTransfer, 0.3, 0},
+		{"oom", faults.TransientOOM, 0.5, 1},
+		{"stall", faults.RankStall, 0.02, 0},
+	}
+	for _, tc := range cases {
+		for _, seed := range chaosSeeds(t) {
+			for _, ranks := range []int{1, 4, 8} {
+				t.Run(fmt.Sprintf("%s/seed%d/p%d", tc.name, seed, ranks), func(t *testing.T) {
+					opt := Options{
+						Ranks:        ranks,
+						Faults:       planWith(seed, tc.c, tc.rate),
+						StallTimeout: 20 * time.Second,
+					}
+					if tc.gpus > 0 {
+						opt.GPUsPerNode = tc.gpus
+						opt.Thresholds = &th
+					}
+					f, err := Factorize(a, opt)
+					if err != nil {
+						t.Fatalf("factorize under %s faults: %v", tc.name, err)
+					}
+					if r := distSolveCheck(t, a, f, seed); r > 1e-10 {
+						t.Fatalf("residual %g under %s faults", r, tc.name)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestChaosAllClassesCombined piles every recoverable class into one plan.
+func TestChaosAllClassesCombined(t *testing.T) {
+	a := gen.Laplace2D(9, 8)
+	th := gpu.Thresholds{Potrf: 1, Trsm: 1, Syrk: 1, Gemm: 1}
+	for _, seed := range chaosSeeds(t) {
+		p := faults.DefaultChaos(seed)
+		f, err := Factorize(a, Options{
+			Ranks: 4, GPUsPerNode: 1, Thresholds: &th,
+			Faults:       &p,
+			StallTimeout: 20 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r := distSolveCheck(t, a, f, seed); r > 1e-10 {
+			t.Fatalf("seed %d: residual %g", seed, r)
+		}
+	}
+}
+
+// TestChaosLostSignalRecovery drops the majority of announcements on a
+// multi-rank run and requires the job to finish through the re-request
+// protocol — observable retries, not a watchdog abort.
+func TestChaosLostSignalRecovery(t *testing.T) {
+	a := gen.Laplace2D(9, 8)
+	var sawReRequest bool
+	for _, seed := range chaosSeeds(t) {
+		f, err := Factorize(a, Options{
+			Ranks:        4,
+			Faults:       planWith(seed, faults.DropSignal, 0.6),
+			StallTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if f.Stats.Faults.DroppedSignals == 0 {
+			t.Fatalf("seed %d: 0.6 drop rate injected nothing", seed)
+		}
+		if f.Stats.Faults.ReRequests > 0 {
+			sawReRequest = true
+			if f.Stats.Faults.Redeliveries == 0 {
+				t.Fatalf("seed %d: re-requests without redeliveries: %s",
+					seed, f.Stats.Faults)
+			}
+		}
+		if r := distSolveCheck(t, a, f, seed); r > 1e-10 {
+			t.Fatalf("seed %d: residual %g", seed, r)
+		}
+	}
+	if !sawReRequest {
+		t.Fatal("no seed exercised the re-request protocol at 0.6 drop rate")
+	}
+}
+
+// TestChaosWatchdogLostSignalTaxonomy makes loss genuinely irrecoverable
+// (every RPC dropped, including re-requests) and checks the watchdog's
+// structured diagnosis: ErrStalled for the abort class, ErrLostSignal for
+// the cause, and a health report naming the waiting ranks.
+func TestChaosWatchdogLostSignalTaxonomy(t *testing.T) {
+	a := gen.Laplace2D(9, 8)
+	_, err := Factorize(a, Options{
+		Ranks:        4,
+		Faults:       planWith(1, faults.DropSignal, 1.0),
+		StallTimeout: 300 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("total signal loss must stall the factorization")
+	}
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled in chain", err)
+	}
+	if !errors.Is(err, ErrLostSignal) {
+		t.Fatalf("err = %v, want ErrLostSignal in chain", err)
+	}
+	if !strings.Contains(err.Error(), "deps=") {
+		t.Fatalf("diagnosis lacks the per-rank health report: %v", err)
+	}
+}
+
+// TestChaosDeviceFailureDemotesToCPU kills every device at first touch; the
+// job must finish on CPU kernels — even under FallbackError, which only
+// guards genuine capacity OOM — and count the demotion.
+func TestChaosDeviceFailureDemotesToCPU(t *testing.T) {
+	a := gen.Laplace2D(9, 8)
+	th := gpu.Thresholds{Potrf: 1, Trsm: 1, Syrk: 1, Gemm: 1}
+	for _, fb := range []gpu.FallbackPolicy{gpu.FallbackCPU, gpu.FallbackError} {
+		f, err := Factorize(a, Options{
+			Ranks: 2, RanksPerNode: 2, GPUsPerNode: 1,
+			Thresholds:   &th,
+			Fallback:     fb,
+			Faults:       planWith(5, faults.DeviceFail, 1.0),
+			StallTimeout: 20 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("fallback=%v: mid-run device death must demote, got %v", fb, err)
+		}
+		if f.Stats.Faults.DeviceDemotions == 0 {
+			t.Fatalf("fallback=%v: no demotion recorded: %s", fb, f.Stats.Faults)
+		}
+		if e := reconstructError(t, f, a); e > 1e-8 {
+			t.Fatalf("fallback=%v: reconstruction error %g after demotion", fb, e)
+		}
+	}
+}
+
+// TestChaosTransientOOMNeverAborts injects transient allocation failures at
+// rate 1 — every attempt fails, exhausting the retry budget — under
+// FallbackError. Transient faults must fall back to the CPU silently; only
+// genuine capacity OOM may abort.
+func TestChaosTransientOOMNeverAborts(t *testing.T) {
+	a := gen.Laplace2D(9, 8)
+	th := gpu.Thresholds{Potrf: 1, Trsm: 1, Syrk: 1, Gemm: 1}
+	f, err := Factorize(a, Options{
+		Ranks: 2, RanksPerNode: 2, GPUsPerNode: 1,
+		Thresholds:   &th,
+		Fallback:     gpu.FallbackError,
+		Faults:       planWith(9, faults.TransientOOM, 1.0),
+		StallTimeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("transient OOM must not abort under FallbackError: %v", err)
+	}
+	if f.Stats.Faults.AllocRetries == 0 {
+		t.Fatalf("no alloc retries recorded: %s", f.Stats.Faults)
+	}
+	if e := reconstructError(t, f, a); e > 1e-8 {
+		t.Fatalf("reconstruction error %g", e)
+	}
+}
+
+// TestChaosGenuineOOMStillAborts guards the other side of the policy: with
+// injection active but a truly undersized device, FallbackError must still
+// abort — resilience must not swallow real capacity errors.
+func TestChaosGenuineOOMStillAborts(t *testing.T) {
+	a := gen.Flan3D(2, 2, 3, 1)
+	th := gpu.Thresholds{Potrf: 1, Trsm: 1, Syrk: 1, Gemm: 1}
+	_, err := Factorize(a, Options{
+		Ranks: 2, RanksPerNode: 2, GPUsPerNode: 1,
+		DeviceCapacity: 8,
+		Thresholds:     &th,
+		Fallback:       gpu.FallbackError,
+		Faults:         planWith(3, faults.DelaySignal, 0.2),
+		StallTimeout:   20 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("genuine OOM under FallbackError must abort even with chaos on")
+	}
+	if errors.Is(err, ErrTransient) {
+		t.Fatalf("genuine OOM misclassified as transient: %v", err)
+	}
+}
+
+// TestChaosDeterministicCounters runs the same seeded single-rank plan
+// twice; with one rank the decision stream is fully ordered, so the
+// injection counters must match exactly.
+func TestChaosDeterministicCounters(t *testing.T) {
+	a := gen.Laplace2D(9, 8)
+	th := gpu.Thresholds{Potrf: 1, Trsm: 1, Syrk: 1, Gemm: 1}
+	run := func() FaultStats {
+		f, err := Factorize(a, Options{
+			Ranks: 1, GPUsPerNode: 1, Thresholds: &th,
+			Faults:       planWith(11, faults.TransientOOM, 0.3),
+			StallTimeout: 20 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.Stats.Faults
+	}
+	s1, s2 := run(), run()
+	if s1 != s2 {
+		t.Fatalf("same seed diverged: %s vs %s", s1, s2)
+	}
+	if s1.AllocRetries == 0 {
+		t.Fatalf("0.3 OOM rate injected nothing: %s", s1)
+	}
+}
+
+// TestChaosStatsStringAndAny covers the FaultStats presentation helpers.
+func TestChaosStatsStringAndAny(t *testing.T) {
+	var s FaultStats
+	if s.Any() || s.String() != "no faults" {
+		t.Fatalf("zero stats: Any=%v String=%q", s.Any(), s.String())
+	}
+	s.DroppedSignals = 2
+	s.ReRequests = 1
+	if !s.Any() {
+		t.Fatal("non-zero stats must report Any")
+	}
+	var sum FaultStats
+	sum.Add(s)
+	sum.Add(s)
+	if sum.DroppedSignals != 4 || sum.ReRequests != 2 {
+		t.Fatalf("Add: %+v", sum)
+	}
+	if sum.String() == "no faults" {
+		t.Fatal("non-zero stats must render counters")
+	}
+}

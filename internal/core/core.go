@@ -14,10 +14,11 @@ package core
 import (
 	"errors"
 	"fmt"
-	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"sympack/internal/faults"
 	"sympack/internal/gpu"
 	"sympack/internal/machine"
 	"sympack/internal/matrix"
@@ -68,6 +69,11 @@ type Options struct {
 	// for this long — a watchdog against scheduling deadlocks. Zero means
 	// the 30s default; negative disables the watchdog.
 	StallTimeout time.Duration
+	// Faults, when non-nil and active, enables deterministic fault
+	// injection: the plan's seed fixes every drop/dup/delay/transfer/OOM
+	// decision, so chaos runs are reproducible. The solve phase reuses the
+	// plan through a restricted injector (see SolveDistributed).
+	Faults *faults.Plan
 }
 
 // MappingKind selects the block distribution.
@@ -187,6 +193,8 @@ type Stats struct {
 	Updates    int
 
 	FallbacksOOM int64 // device-OOM events that fell back to the CPU
+
+	Faults FaultStats // injected faults and the recovery work they caused
 }
 
 // Factor is a completed Cholesky factorization PAPᵀ = LLᵀ.
@@ -228,6 +236,8 @@ func FactorizeAnalyzed(st *symbolic.Structure, pa *matrix.SparseSym, opt Options
 		GPUsPerNode:    opt.GPUsPerNode,
 		Machine:        *opt.Machine,
 		DeviceCapacity: opt.DeviceCapacity,
+		Faults:         newInjector(opt),
+		Trace:          opt.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -243,37 +253,55 @@ func FactorizeAnalyzed(st *symbolic.Structure, pa *matrix.SparseSym, opt Options
 
 	dir := make([]upcxx.GlobalPtr, len(st.Blocks))
 	engines := make([]*engine, opt.Ranks)
+	// engMu orders engine-slot publication against the watchdog's health
+	// snapshots; the slots themselves are written once, before the first
+	// barrier.
+	var engMu sync.Mutex
 
 	var progress atomic.Int64
-	stopWatch := startWatchdog(rt, &progress, opt.StallTimeout, func() string {
-		var b strings.Builder
-		fmt.Fprintf(&b, "core: no task completed for %v; per-rank done/total:", opt.StallTimeout)
-		for _, e := range engines {
-			if e != nil {
-				fmt.Fprintf(&b, " r%d=%d/%d", e.r.ID, e.doneTasks, e.totalTasks)
-			}
+	stopWatch := startWatchdog(rt, &progress, opt.StallTimeout, func() error {
+		engMu.Lock()
+		rep := snapshotHealth(engines, rt)
+		engMu.Unlock()
+		err := fmt.Errorf("no task completed for %v; %s", opt.StallTimeout, rep)
+		if rep.Waiting() && rep.ReRequested() {
+			// Ranks still owe source blocks after exercising the
+			// re-request protocol: announcements are irrecoverably lost.
+			err = fmt.Errorf("%w: %w", ErrLostSignal, err)
 		}
-		return b.String()
+		return err
 	})
 	defer stopWatch()
 
 	start := time.Now()
+	totalTasks := int64(st.NumBlocks() + len(tg.Updates))
 	err = rt.Run(func(r *upcxx.Rank) {
 		e := newEngine(r, st, tg, pa, m2d, &opt, dir, engines)
 		e.progress = &progress
+		engMu.Lock()
 		engines[r.ID] = e
+		engMu.Unlock()
 		e.setup()
 		if err := r.Barrier(); err != nil {
 			return
 		}
 		e.factorLoop()
+		// A rank that finishes early must keep serving RPCs until every
+		// rank is done: consumers whose announcements were lost direct
+		// re-requests at this rank, and the barrier does not drain queues.
+		e.drainUntil(&progress, totalTasks)
 		_ = r.Barrier()
 	})
 	f.Stats.Wall = time.Since(start)
-	if err != nil {
-		if errors.Is(err, ErrNotPositiveDefinite) {
-			return nil, err
+	f.Stats.Faults = runtimeFaultStats(rt)
+	for _, e := range engines {
+		if e == nil {
+			continue
 		}
+		f.Stats.Faults.AllocRetries += e.allocRetries.Load()
+		f.Stats.Faults.DeviceDemotions += e.demotions.Load()
+	}
+	if err != nil {
 		return nil, err
 	}
 	for _, e := range engines {
@@ -300,10 +328,11 @@ func FactorizeAnalyzed(st *symbolic.Structure, pa *matrix.SparseSym, opt Options
 // startWatchdog monitors a progress counter and fails the runtime when it
 // stalls for longer than `timeout`. It returns a stop function; a
 // non-positive timeout disables the watchdog entirely. The diag callback
-// builds the abort message at trip time (it may read engine state racily —
-// acceptable for a diagnostic emitted on the way down, and engines publish
-// counters only through normal execution).
-func startWatchdog(rt *upcxx.Runtime, progress *atomic.Int64, timeout time.Duration, diag func() string) func() {
+// builds the diagnosis error at trip time; it is wrapped in ErrStalled, so
+// a diag may add further sentinel errors (ErrLostSignal) for callers to
+// branch on. Engines publish health through atomic mirrors, so the snapshot
+// is race-free even mid-run.
+func startWatchdog(rt *upcxx.Runtime, progress *atomic.Int64, timeout time.Duration, diag func() error) func() {
 	if timeout <= 0 {
 		return func() {}
 	}
@@ -319,7 +348,7 @@ func startWatchdog(rt *upcxx.Runtime, progress *atomic.Int64, timeout time.Durat
 			case <-ticker.C:
 				cur := progress.Load()
 				if cur == last {
-					rt.Fail(fmt.Errorf("%w: %s", ErrStalled, diag()))
+					rt.Fail(fmt.Errorf("%w: %w", ErrStalled, diag()))
 					return
 				}
 				last = cur
@@ -327,6 +356,66 @@ func startWatchdog(rt *upcxx.Runtime, progress *atomic.Int64, timeout time.Durat
 		}
 	}()
 	return func() { close(done) }
+}
+
+// newInjector builds the factorization's fault injector, or nil when the
+// plan is absent or inactive. The actor count covers both ranks and devices
+// so every decision stream is independent.
+func newInjector(opt Options) *faults.Injector {
+	if opt.Faults == nil || !opt.Faults.Active() {
+		return nil
+	}
+	rpn := opt.RanksPerNode
+	if rpn <= 0 {
+		rpn = opt.Ranks
+	}
+	nodes := (opt.Ranks + rpn - 1) / rpn
+	actors := opt.Ranks
+	if d := nodes * opt.GPUsPerNode; d > actors {
+		actors = d
+	}
+	return faults.New(*opt.Faults, actors)
+}
+
+// snapshotHealth builds a HealthReport from the engines' atomic health
+// mirrors and the runtime's fault counters. Unpublished engine slots (nil)
+// are skipped; safe to call from the watchdog goroutine mid-run.
+func snapshotHealth(engines []*engine, rt *upcxx.Runtime) *HealthReport {
+	rep := &HealthReport{Faults: runtimeFaultStats(rt)}
+	for _, e := range engines {
+		if e == nil {
+			continue
+		}
+		rep.Faults.AllocRetries += e.allocRetries.Load()
+		rep.Faults.DeviceDemotions += e.demotions.Load()
+		rep.Ranks = append(rep.Ranks, RankHealth{
+			Rank:            e.r.ID,
+			Done:            int(e.hDone.Load()),
+			Total:           int(e.hTotal.Load()),
+			RTQDepth:        int(e.hRTQ.Load()),
+			Inbox:           int(e.hInbox.Load()),
+			PendingRPCs:     e.r.PendingRPCs(),
+			OutstandingDeps: int(e.hWanted.Load()),
+			ReRequests:      e.hReRequests.Load(),
+		})
+	}
+	return rep
+}
+
+// runtimeFaultStats converts the runtime's atomic counters into a
+// FaultStats value (the engine-side AllocRetries/DeviceDemotions are added
+// by the callers that can see the engines).
+func runtimeFaultStats(rt *upcxx.Runtime) FaultStats {
+	return FaultStats{
+		DroppedSignals:   rt.Stats.DroppedSignals.Load(),
+		DupSignals:       rt.Stats.DupSignals.Load(),
+		DelayedSignals:   rt.Stats.DelayedSignals.Load(),
+		TransferRetries:  rt.Stats.TransferRetries.Load(),
+		TransferFailures: rt.Stats.TransferFailures.Load(),
+		Stalls:           rt.Stats.Stalls.Load(),
+		ReRequests:       rt.Stats.ReRequests.Load(),
+		Redeliveries:     rt.Stats.Redeliveries.Load(),
+	}
 }
 
 // ErrStalled is returned when the watchdog detects a scheduling deadlock.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sympack/internal/blas"
+	"sympack/internal/faults"
 	"sympack/internal/gpu"
 	"sympack/internal/machine"
 	"sympack/internal/matrix"
@@ -86,8 +87,37 @@ type engine struct {
 	totalTasks int
 	doneTasks  int
 
+	// Resilience state (lost-signal recovery, paper Fig. 4 hardened).
+	// produced[bid] is set by this rank once it has factored and announced
+	// block bid; the re-request handler reads it on this rank's goroutine
+	// inside Progress, so no locking is needed.
+	produced []bool
+	// wanted holds source block ids this rank's remaining tasks still
+	// await; entries leave on acquire. Its remote members are the
+	// candidates for re-requests when the rank idles.
+	wanted map[int32]bool
+	// reqAt / reqCount implement per-block exponential backoff between
+	// re-requests; reqAt holds the earliest next attempt in wall-clock
+	// nanoseconds (ticks proved useless as a clock: the idle loop's short
+	// sleeps stretch to OS-timer granularity, freezing tick-based timers).
+	reqAt    map[int32]int64
+	reqCount map[int32]int
+
+	// demoted is set when this rank's device dies mid-run: every later
+	// offload decision answers CPU.
+	demoted bool
+
+	// Health mirrors: the stall watchdog's goroutine reads these while the
+	// rank runs, so they are atomics updated once per loop iteration.
+	hDone, hTotal, hRTQ, hInbox, hWanted atomic.Int32
+	hReRequests                          atomic.Int64
+
 	ops          OpStats
 	oomFallbacks int64
+	xferFailures int64
+	// allocRetries/demotions are read by the watchdog mid-run.
+	allocRetries atomic.Int64
+	demotions    atomic.Int64
 }
 
 func newEngine(r *upcxx.Rank, st *symbolic.Structure, tg *symbolic.TaskGraph, a *matrix.SparseSym, m2d symbolic.BlockMap, opt *Options, dir []upcxx.GlobalPtr, peers []*engine) *engine {
@@ -99,6 +129,10 @@ func newEngine(r *upcxx.Rank, st *symbolic.Structure, tg *symbolic.TaskGraph, a 
 		avail:                make([]*fetched, len(st.Blocks)),
 		updatesByLocalSource: make([][]int32, len(st.Blocks)),
 		localFOfSnode:        make([][]int32, len(st.Snodes)),
+		produced:             make([]bool, len(st.Blocks)),
+		wanted:               map[int32]bool{},
+		reqAt:                map[int32]int64{},
+		reqCount:             map[int32]int{},
 	}
 }
 
@@ -128,6 +162,8 @@ func (e *engine) setup() {
 		if !b.IsDiag() {
 			dep++
 			e.localFOfSnode[b.Snode] = append(e.localFOfSnode[b.Snode], b.ID)
+			// The panel factorization awaits the supernode's diagonal.
+			e.wanted[st.DiagBlock(b.Snode).ID] = true
 		}
 		e.depBlock[b.ID] = dep
 		e.totalTasks++
@@ -147,11 +183,14 @@ func (e *engine) setup() {
 		}
 		e.depUpdate[int32(ui)] = deps
 		e.updatesByLocalSource[u.BlkA] = append(e.updatesByLocalSource[u.BlkA], int32(ui))
+		e.wanted[u.BlkA] = true
 		if u.BlkB != u.BlkA {
 			e.updatesByLocalSource[u.BlkB] = append(e.updatesByLocalSource[u.BlkB], int32(ui))
+			e.wanted[u.BlkB] = true
 		}
 		e.totalTasks++
 	}
+	e.hTotal.Store(int32(e.totalTasks))
 	e.assemble()
 }
 
@@ -261,7 +300,9 @@ func (e *engine) pop() task {
 
 // factorLoop is the main scheduling loop of paper Fig. 3: poll for incoming
 // notifications, then run a ready task; repeat until all local tasks are
-// done or the job aborts.
+// done or the job aborts. When the rank idles with source blocks still
+// outstanding it suspects lost announcements and runs the re-request
+// protocol, turning what used to be a silent deadlock into recovery.
 func (e *engine) factorLoop() {
 	rt := e.r.Runtime()
 	idle := 0
@@ -270,9 +311,16 @@ func (e *engine) factorLoop() {
 			return
 		}
 		e.poll()
+		e.hDone.Store(int32(e.doneTasks))
+		e.hRTQ.Store(int32(len(e.rtq)))
+		e.hInbox.Store(int32(len(e.inbox)))
+		e.hWanted.Store(int32(len(e.wanted)))
 		if len(e.rtq) == 0 {
 			idle++
 			if idle > 256 {
+				if idle%64 == 0 {
+					e.reRequestLost()
+				}
 				time.Sleep(20 * time.Microsecond)
 			} else {
 				runtime.Gosched()
@@ -284,6 +332,72 @@ func (e *engine) factorLoop() {
 		if e.progress != nil {
 			e.progress.Add(1)
 		}
+	}
+}
+
+// drainUntil keeps executing incoming RPCs after this rank's own tasks are
+// done, until the job-wide progress counter reaches total (or the job
+// aborts). Without it a finished producer parked in the final barrier would
+// never run the re-request RPCs other ranks aim at it.
+func (e *engine) drainUntil(progress *atomic.Int64, total int64) {
+	rt := e.r.Runtime()
+	idle := 0
+	for progress.Load() < total && !rt.ShouldAbort() {
+		e.r.Progress()
+		idle++
+		if idle > 256 {
+			time.Sleep(20 * time.Microsecond)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// reRequestLost asks the producers of still-awaited remote blocks to
+// re-announce anything they have already factored. A producer that has not
+// produced the block yet ignores the request (the real announcement will
+// come); one whose announcement was dropped re-signals, and the consumer's
+// normal poll path takes it from there. Per-block exponential backoff keeps
+// the recovery traffic bounded, and the request/redeliver RPCs are
+// themselves subject to injection — the protocol only assumes the network
+// delivers eventually, not reliably.
+func (e *engine) reRequestLost() {
+	rt := e.r.Runtime()
+	now := time.Now().UnixNano()
+	for bid := range e.wanted {
+		if e.owned[bid] != nil {
+			continue // locally produced: delivery is a direct call, never lost
+		}
+		if now < e.reqAt[bid] {
+			continue
+		}
+		n := e.reqCount[bid]
+		e.reqCount[bid] = n + 1
+		if n > 6 {
+			n = 6
+		}
+		e.reqAt[bid] = now + int64(4*time.Millisecond)<<n
+		owner := symbolic.OwnerOfBlock(e.m2d, &e.st.Blocks[bid])
+		b := bid
+		requester := e.r.ID
+		peers := e.peers
+		e.hReRequests.Add(1)
+		rt.Stats.ReRequests.Add(1)
+		if tr := e.opt.Trace; tr != nil {
+			tr.End(int32(e.r.ID), "fault:re-request", tr.Begin(), fmt.Sprintf("blk=%d owner=%d", b, owner))
+		}
+		e.r.RPC(owner, func(t *upcxx.Rank) {
+			// Runs on the producer: if the block is done, re-announce it
+			// to the requester; duplicates are absorbed by acquire.
+			pe := peers[t.ID]
+			if !pe.produced[b] {
+				return
+			}
+			rt.Stats.Redeliveries.Add(1)
+			t.RPC(requester, func(c *upcxx.Rank) {
+				peers[c.ID].inbox = append(peers[c.ID].inbox, b)
+			})
+		})
 	}
 }
 
@@ -303,7 +417,10 @@ func (e *engine) poll() {
 }
 
 // acquire makes a source block locally available (fetching it if remote)
-// and propagates dependency decrements.
+// and propagates dependency decrements. It is idempotent — duplicated
+// announcements return early — and fault-tolerant: a transfer whose retry
+// budget ran out leaves the block in the wanted set, where the re-request
+// protocol triggers a fresh announcement and a fresh fetch.
 func (e *engine) acquire(bid int32) {
 	if e.avail[bid] != nil {
 		return
@@ -320,20 +437,32 @@ func (e *engine) acquire(bid int32) {
 		// native memory kinds), skipping the host bounce.
 		m, n := blockDims(e.st, b)
 		if e.gpuEnabled() && b.IsDiag() && e.opt.Thresholds.ShouldOffload(machine.OpTrsm, m*n) {
-			if buf, err := e.r.Device().Alloc(m * n); err == nil {
-				dst := upcxx.GlobalPtr{Rank: int32(e.r.ID), Kind: simnet.Device, Data: buf.Data}
-				e.r.Copy(src, dst)
-				fc.dev = buf
-			} else {
+			if buf, err := e.devAlloc(m * n); err == nil {
+				if f := e.r.Copy(src, upcxx.GlobalPtr{Rank: int32(e.r.ID), Kind: simnet.Device, Data: buf.Data}); f.OK() {
+					fc.dev = buf
+				} else {
+					// Device-direct fetch failed in transit: release the
+					// buffer and fall through to the host path.
+					e.r.Device().Free(buf)
+				}
+			} else if !errors.Is(err, gpu.ErrDeviceFailed) {
 				e.oomFallbacks++
 			}
 		}
 		if fc.dev == nil {
 			fc.host = make([]float64, src.Len())
-			e.r.Rget(src, fc.host)
+			if f := e.r.Rget(src, fc.host); !f.OK() {
+				// Retries exhausted: keep the block wanted and let the
+				// re-request path re-signal it; a later acquire retries
+				// the get with a fresh attempt budget.
+				e.xferFailures++
+				e.reqAt[bid] = 0
+				return
+			}
 		}
 	}
 	e.avail[bid] = &fc
+	delete(e.wanted, bid)
 	if b.IsDiag() {
 		// Local panel blocks of this supernode lose their diagonal
 		// dependency.
@@ -368,7 +497,44 @@ func (e *engine) decBlock(bid int32) {
 	}
 }
 
-func (e *engine) gpuEnabled() bool { return e.r.Device() != nil }
+func (e *engine) gpuEnabled() bool { return e.r.Device() != nil && !e.demoted }
+
+// demote permanently retires this rank's device after a hardware failure:
+// every subsequent offload decision answers CPU. The factorization
+// continues — slower, not dead.
+func (e *engine) demote() {
+	if e.demoted {
+		return
+	}
+	e.demoted = true
+	e.demotions.Add(1)
+	if tr := e.opt.Trace; tr != nil {
+		tr.End(int32(e.r.ID), "fault:demote-gpu", tr.Begin(), fmt.Sprintf("dev=%d", e.r.Device().ID))
+	}
+}
+
+// devAlloc wraps device allocation with the resilience policy: transient
+// injected failures are retried a few times (they clear by construction),
+// and a permanently failed device demotes the rank before surfacing
+// ErrDeviceFailed so the caller's CPU fallback runs.
+func (e *engine) devAlloc(n int) (*gpu.Buffer, error) {
+	d := e.r.Device()
+	for attempt := 0; ; attempt++ {
+		buf, err := d.Alloc(n)
+		if err == nil {
+			return buf, nil
+		}
+		if errors.Is(err, gpu.ErrDeviceFailed) {
+			e.demote()
+			return nil, err
+		}
+		if errors.Is(err, faults.ErrTransient) && attempt < 3 {
+			e.allocRetries.Add(1)
+			continue
+		}
+		return nil, err
+	}
+}
 
 // execute dispatches one ready task, recording it when tracing is on.
 func (e *engine) execute(t task) {
@@ -389,8 +555,11 @@ func (e *engine) execute(t task) {
 }
 
 // announce notifies every rank holding tasks that consume block bid
-// (paper Fig. 4 step 1); the local rank is handled directly.
+// (paper Fig. 4 step 1); the local rank is handled directly. It also
+// records the block as produced so the re-request protocol can serve
+// consumers whose notification the network lost.
 func (e *engine) announce(bid int32, consumers map[int]bool) {
+	e.produced[bid] = true
 	for rank := range consumers {
 		if rank == e.r.ID {
 			e.acquire(bid)
@@ -536,9 +705,20 @@ func (e *engine) offload(op machine.Op, elems int) bool {
 func (e *engine) countCPU(op machine.Op) { e.ops.CPU[op]++ }
 func (e *engine) countGPU(op machine.Op) { e.ops.GPU[op]++ }
 
-// fallbackCPU handles a device OOM according to policy, returning true when
-// the caller should run the CPU path.
+// fallbackCPU handles a failed device allocation according to policy,
+// returning true when the caller should run the CPU path. Only a genuine
+// capacity OOM under FallbackError aborts: a dead device demotes the rank
+// (the job survives on CPU kernels), and transient injected failures that
+// outlived their retries fall back silently — transient faults must never
+// reach the hard-abort path.
 func (e *engine) fallbackCPU(err error) bool {
+	if errors.Is(err, gpu.ErrDeviceFailed) {
+		return true // demoted by devAlloc; run this op on the CPU
+	}
+	if errors.Is(err, faults.ErrTransient) {
+		e.oomFallbacks++
+		return true
+	}
 	if e.opt.Fallback == gpu.FallbackError {
 		e.r.Runtime().Fail(fmt.Errorf("core: device allocation failed and fallback=error: %w", err))
 		return false
@@ -549,7 +729,7 @@ func (e *engine) fallbackCPU(err error) bool {
 
 func (e *engine) gpuPotrf(n int, data []float64) error {
 	d := e.r.Device()
-	buf, err := d.Alloc(n * n)
+	buf, err := e.devAlloc(n * n)
 	if err != nil {
 		if !e.fallbackCPU(err) {
 			return nil // job is aborting
@@ -581,7 +761,7 @@ func (e *engine) gpuTrsm(m, n int, diagID int32, data []float64) {
 		diagBuf = fc.dev
 	} else {
 		host := e.hostOf(diagID)
-		buf, err := d.Alloc(len(host))
+		buf, err := e.devAlloc(len(host))
 		if err != nil {
 			if !e.fallbackCPU(err) {
 				return
@@ -593,7 +773,7 @@ func (e *engine) gpuTrsm(m, n int, diagID int32, data []float64) {
 		ownDiag = true
 		e.r.Charge(d.HostToDevice(buf, host))
 	}
-	bBuf, err := d.Alloc(m * n)
+	bBuf, err := e.devAlloc(m * n)
 	if err != nil {
 		if ownDiag {
 			d.Free(diagBuf)
@@ -623,7 +803,7 @@ func (e *engine) cpuTrsm(m, n int, diagID int32, data []float64) {
 
 func (e *engine) gpuSyrk(n, k int, a, scratch []float64) {
 	d := e.r.Device()
-	aBuf, err1 := d.Alloc(len(a))
+	aBuf, err1 := e.devAlloc(len(a))
 	if err1 != nil {
 		if e.fallbackCPU(err1) {
 			e.countCPU(machine.OpSyrk)
@@ -632,7 +812,7 @@ func (e *engine) gpuSyrk(n, k int, a, scratch []float64) {
 		}
 		return
 	}
-	cBuf, err2 := d.Alloc(len(scratch))
+	cBuf, err2 := e.devAlloc(len(scratch))
 	if err2 != nil {
 		d.Free(aBuf)
 		if e.fallbackCPU(err2) {
@@ -657,14 +837,14 @@ func (e *engine) gpuGemm(m, n, k int, b, a, scratch []float64) {
 		e.r.Charge(e.opt.Machine.CPUTime(machine.KernelFlops(machine.OpGemm, m, n, k)))
 		blas.Gemm(blas.NoTrans, blas.Transpose, m, n, k, 1, b, m, a, n, 0, scratch, m)
 	}
-	bBuf, err := d.Alloc(len(b))
+	bBuf, err := e.devAlloc(len(b))
 	if err != nil {
 		if e.fallbackCPU(err) {
 			cpu()
 		}
 		return
 	}
-	aBuf, err := d.Alloc(len(a))
+	aBuf, err := e.devAlloc(len(a))
 	if err != nil {
 		d.Free(bBuf)
 		if e.fallbackCPU(err) {
@@ -672,7 +852,7 @@ func (e *engine) gpuGemm(m, n, k int, b, a, scratch []float64) {
 		}
 		return
 	}
-	cBuf, err := d.Alloc(len(scratch))
+	cBuf, err := e.devAlloc(len(scratch))
 	if err != nil {
 		d.Free(bBuf)
 		d.Free(aBuf)

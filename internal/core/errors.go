@@ -1,0 +1,141 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"sympack/internal/faults"
+	"sympack/internal/gpu"
+)
+
+// Typed error taxonomy for the resilient runtime. ErrStalled and
+// ErrNotPositiveDefinite (core.go) predate it; these wrap or re-export the
+// lower layers' classes so callers can branch with errors.Is against core
+// alone.
+var (
+	// ErrTransient classifies recoverable injected faults (dropped or
+	// delayed signals, failing transfers, transient device allocations).
+	// A factorization should never abort with only transient faults.
+	ErrTransient = faults.ErrTransient
+
+	// ErrDeviceFailed marks a permanently dead device. The owning rank
+	// demotes itself to CPU kernels; the job continues.
+	ErrDeviceFailed = gpu.ErrDeviceFailed
+
+	// ErrLostSignal marks a stall in which ranks were still waiting on
+	// source blocks after exercising the re-request protocol — the
+	// signature of irrecoverably lost announcements (or a dead producer).
+	ErrLostSignal = errors.New("core: lost signal")
+)
+
+// FaultStats aggregates the fault-injection and recovery counters of one
+// factorization or solve phase. All zeros on a perfect network.
+type FaultStats struct {
+	DroppedSignals   int64 // producer announcements discarded by the injector
+	DupSignals       int64 // announcements delivered twice (absorbed idempotently)
+	DelayedSignals   int64 // announcements deferred by progress ticks
+	TransferRetries  int64 // Rget/Rput/Copy attempts that failed and retried
+	TransferFailures int64 // transfers whose retry budget ran out
+	Stalls           int64 // injected rank-stall windows
+	ReRequests       int64 // consumer re-requests for missing announcements
+	Redeliveries     int64 // producer re-announcements serving re-requests
+	AllocRetries     int64 // transient device-allocation failures retried
+	DeviceDemotions  int64 // ranks that permanently fell back to CPU kernels
+}
+
+// Any reports whether any fault or recovery event was recorded.
+func (s FaultStats) Any() bool { return s != FaultStats{} }
+
+// Add accumulates another counter set.
+func (s *FaultStats) Add(o FaultStats) {
+	s.DroppedSignals += o.DroppedSignals
+	s.DupSignals += o.DupSignals
+	s.DelayedSignals += o.DelayedSignals
+	s.TransferRetries += o.TransferRetries
+	s.TransferFailures += o.TransferFailures
+	s.Stalls += o.Stalls
+	s.ReRequests += o.ReRequests
+	s.Redeliveries += o.Redeliveries
+	s.AllocRetries += o.AllocRetries
+	s.DeviceDemotions += o.DeviceDemotions
+}
+
+func (s FaultStats) String() string {
+	if !s.Any() {
+		return "no faults"
+	}
+	var b strings.Builder
+	add := func(name string, v int64) {
+		if v != 0 {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s=%d", name, v)
+		}
+	}
+	add("dropped", s.DroppedSignals)
+	add("dup", s.DupSignals)
+	add("delayed", s.DelayedSignals)
+	add("xfer-retries", s.TransferRetries)
+	add("xfer-failures", s.TransferFailures)
+	add("stalls", s.Stalls)
+	add("re-requests", s.ReRequests)
+	add("redeliveries", s.Redeliveries)
+	add("alloc-retries", s.AllocRetries)
+	add("gpu-demotions", s.DeviceDemotions)
+	return b.String()
+}
+
+// RankHealth is one rank's progress snapshot inside a HealthReport.
+type RankHealth struct {
+	Rank            int
+	Done, Total     int   // executed vs owned tasks (the LTQ view)
+	RTQDepth        int   // ready tasks queued but not yet run
+	Inbox           int   // announcements received but not yet acquired
+	PendingRPCs     int   // RPCs enqueued on the rank but not yet executed
+	OutstandingDeps int   // source blocks still awaited (wanted set)
+	ReRequests      int64 // lost-signal re-requests this rank has sent
+}
+
+// HealthReport is the stall watchdog's structured diagnosis: per-rank queue
+// depths and dependency debt plus the job-wide fault counters, replacing the
+// old free-text "done/total" line. Snapshots are taken from per-engine
+// atomic mirrors so the watchdog can read them race-free mid-run.
+type HealthReport struct {
+	Ranks  []RankHealth
+	Faults FaultStats
+}
+
+// Waiting reports whether any rank is still owed source blocks — with
+// re-requests already sent, the lost-signal signature.
+func (h *HealthReport) Waiting() bool {
+	for _, r := range h.Ranks {
+		if r.OutstandingDeps > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ReRequested reports whether any rank exercised the re-request protocol.
+func (h *HealthReport) ReRequested() bool {
+	for _, r := range h.Ranks {
+		if r.ReRequests > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *HealthReport) String() string {
+	var b strings.Builder
+	b.WriteString("health:")
+	for _, r := range h.Ranks {
+		fmt.Fprintf(&b, " [r%d %d/%d rtq=%d inbox=%d rpc=%d deps=%d rereq=%d]",
+			r.Rank, r.Done, r.Total, r.RTQDepth, r.Inbox, r.PendingRPCs,
+			r.OutstandingDeps, r.ReRequests)
+	}
+	fmt.Fprintf(&b, " faults{%s}", h.Faults)
+	return b.String()
+}

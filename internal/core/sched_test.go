@@ -171,7 +171,7 @@ func TestWatchdog(t *testing.T) {
 		t.Fatal(err)
 	}
 	var progress atomic.Int64
-	stop := startWatchdog(rt, &progress, 10*time.Millisecond, func() string { return "diag" })
+	stop := startWatchdog(rt, &progress, 10*time.Millisecond, func() error { return errors.New("diag") })
 	defer stop()
 	time.Sleep(40 * time.Millisecond)
 	if !rt.ShouldAbort() {
@@ -184,7 +184,7 @@ func TestWatchdog(t *testing.T) {
 	// A progressing counter must not trip.
 	rt2, _ := upcxx.NewRuntime(upcxx.Config{Ranks: 1, Machine: machine.Perlmutter()})
 	var p2 atomic.Int64
-	stop2 := startWatchdog(rt2, &p2, 15*time.Millisecond, func() string { return "" })
+	stop2 := startWatchdog(rt2, &p2, 15*time.Millisecond, func() error { return nil })
 	for i := 0; i < 6; i++ {
 		p2.Add(1)
 		time.Sleep(8 * time.Millisecond)
@@ -196,7 +196,7 @@ func TestWatchdog(t *testing.T) {
 
 	// Disabled watchdog is a no-op.
 	rt3, _ := upcxx.NewRuntime(upcxx.Config{Ranks: 1, Machine: machine.Perlmutter()})
-	stop3 := startWatchdog(rt3, &p2, -1, func() string { return "" })
+	stop3 := startWatchdog(rt3, &p2, -1, func() error { return nil })
 	stop3()
 	if rt3.ShouldAbort() {
 		t.Fatal("disabled watchdog aborted")

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sympack/internal/blas"
+	"sympack/internal/faults"
 	"sympack/internal/simnet"
 	"sympack/internal/symbolic"
 	"sympack/internal/upcxx"
@@ -25,11 +26,19 @@ func (f *Factor) SolveDistributed(b []float64) ([]float64, error) {
 		return nil, fmt.Errorf("core: rhs length %d, want %d", len(b), n)
 	}
 	opt := f.Opt
+	// The solve's one-shot aggregate-vector RPCs are not idempotent the way
+	// the factorization's announcements are, so only generic faults (delays,
+	// failing transfers, rank stalls) are injected; drop/dup target the
+	// factor-announcement protocol and would wedge or corrupt a solve.
+	inj := newInjector(opt).Restrict(
+		faults.DelaySignal, faults.TransientTransfer, faults.RankStall)
 	rt, err := upcxx.NewRuntime(upcxx.Config{
 		Ranks:        opt.Ranks,
 		RanksPerNode: opt.RanksPerNode,
 		GPUsPerNode:  opt.GPUsPerNode,
 		Machine:      *opt.Machine,
+		Faults:       inj,
+		Trace:        opt.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -72,6 +81,7 @@ func (f *Factor) SolveDistributed(b []float64) ([]float64, error) {
 	}
 	f.SolveStats.Wall = time.Since(start)
 	f.SolveStats.ModelSeconds = 0
+	f.SolveStats.Faults.Add(runtimeFaultStats(rt))
 	for _, e := range engines {
 		if s := e.r.Elapsed(); s > f.SolveStats.ModelSeconds {
 			f.SolveStats.ModelSeconds = s

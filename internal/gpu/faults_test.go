@@ -1,0 +1,76 @@
+package gpu
+
+import (
+	"errors"
+	"testing"
+
+	"sympack/internal/faults"
+)
+
+func faultyDev(capElems int64, c faults.Class, rate float64, limit int64) *Device {
+	p := faults.Plan{Seed: 7}
+	p.Rate[c] = rate
+	p.Limit[c] = limit
+	d := newDev(capElems)
+	d.SetFaults(faults.New(p, 1))
+	return d
+}
+
+func TestAllocTransientFault(t *testing.T) {
+	// Limit 2: the first two allocations hiccup transiently, the third
+	// succeeds. Transient failures must not consume device capacity.
+	d := faultyDev(100, faults.TransientOOM, 1.0, 2)
+	for i := 0; i < 2; i++ {
+		_, err := d.Alloc(10)
+		if !errors.Is(err, faults.ErrTransient) {
+			t.Fatalf("alloc %d: err = %v, want transient", i, err)
+		}
+		if errors.Is(err, ErrOutOfMemory) || errors.Is(err, ErrDeviceFailed) {
+			t.Fatalf("alloc %d misclassified: %v", i, err)
+		}
+	}
+	b, err := d.Alloc(10)
+	if err != nil {
+		t.Fatalf("alloc after fault budget: %v", err)
+	}
+	if d.Used() != 10 {
+		t.Fatalf("used = %d after transient failures", d.Used())
+	}
+	d.Free(b)
+}
+
+func TestDeviceFailedLatches(t *testing.T) {
+	d := faultyDev(100, faults.DeviceFail, 1.0, 0)
+	if d.Failed() {
+		t.Fatal("device dead before first touch")
+	}
+	_, err := d.Alloc(10)
+	if !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("err = %v, want ErrDeviceFailed", err)
+	}
+	if errors.Is(err, faults.ErrTransient) {
+		t.Fatalf("permanent failure misclassified as transient: %v", err)
+	}
+	if !d.Failed() {
+		t.Fatal("failure must latch on the device")
+	}
+	// The latch holds even if the injector would no longer fire.
+	d.SetFaults(nil)
+	if _, err := d.Alloc(10); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("latched device allocated: %v", err)
+	}
+}
+
+func TestMarkFailed(t *testing.T) {
+	d := newDev(100)
+	if d.Failed() {
+		t.Fatal("fresh device reports failed")
+	}
+	d.MarkFailed()
+	if !d.Failed() {
+		t.Fatal("MarkFailed did not latch")
+	}
+	if _, err := d.Alloc(1); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("err = %v, want ErrDeviceFailed", err)
+	}
+}

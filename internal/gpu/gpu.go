@@ -11,14 +11,21 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sympack/internal/blas"
+	"sympack/internal/faults"
 	"sympack/internal/machine"
 )
 
 // ErrOutOfMemory is returned when a device allocation does not fit. The
 // solver's fallback options (§4.2) react to it.
 var ErrOutOfMemory = errors.New("gpu: device out of memory")
+
+// ErrDeviceFailed is returned once a device has gone permanently bad
+// (injected mid-run hardware failure). Unlike ErrOutOfMemory it never
+// clears: ranks bound to the device must demote themselves to CPU kernels.
+var ErrDeviceFailed = errors.New("gpu: device failed")
 
 // Device is one simulated GPU.
 type Device struct {
@@ -31,6 +38,11 @@ type Device struct {
 
 	// Busy accumulates modeled kernel seconds, for utilization reports.
 	busy machine.Clock
+
+	// inj, when non-nil, may fail allocations transiently or kill the
+	// device outright; failed latches the death.
+	inj    *faults.Injector
+	failed atomic.Bool
 }
 
 // NewDevice creates a device with a capacity of capElems float64 elements.
@@ -54,10 +66,30 @@ func (b *Buffer) Len() int { return len(b.Data) }
 // Device returns the owning device.
 func (b *Buffer) Device() *Device { return b.dev }
 
-// Alloc reserves n float64 elements of device memory.
+// SetFaults attaches a fault injector consulted on every allocation; nil
+// detaches it.
+func (d *Device) SetFaults(inj *faults.Injector) { d.inj = inj }
+
+// Failed reports whether the device has gone permanently bad.
+func (d *Device) Failed() bool { return d.failed.Load() }
+
+// MarkFailed kills the device permanently (tests and operators).
+func (d *Device) MarkFailed() { d.failed.Store(true) }
+
+// Alloc reserves n float64 elements of device memory. It returns
+// ErrDeviceFailed once the device is dead, a transient error (wrapping
+// faults.ErrTransient) on an injected hiccup, and ErrOutOfMemory when the
+// allocation genuinely does not fit.
 func (d *Device) Alloc(n int) (*Buffer, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("gpu: negative allocation %d", n)
+	}
+	if d.failed.Load() || d.inj.DeviceFailed(d.ID) {
+		d.failed.Store(true)
+		return nil, fmt.Errorf("device %d: %w", d.ID, ErrDeviceFailed)
+	}
+	if d.inj.AllocFault(d.ID) {
+		return nil, fmt.Errorf("gpu: device %d: injected allocation failure: %w", d.ID, faults.ErrTransient)
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()

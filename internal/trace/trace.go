@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -91,10 +92,17 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		if i == len(evs)-1 {
 			sep = ""
 		}
+		// Injected-fault and recovery events ("fault:*" kinds) get their
+		// own category so they can be toggled independently of the task
+		// Gantt rows in the trace viewer.
+		cat := "task"
+		if strings.HasPrefix(e.Kind, "fault:") {
+			cat = "fault"
+		}
 		// Timestamps and durations are microseconds in the format.
 		_, err := fmt.Fprintf(bw,
-			"  {\"name\":%q,\"cat\":\"task\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"detail\":%q}}%s\n",
-			e.Kind,
+			"  {\"name\":%q,\"cat\":%q,\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"detail\":%q}}%s\n",
+			e.Kind, cat,
 			float64(e.Start.Nanoseconds())/1e3,
 			float64((e.End-e.Start).Nanoseconds())/1e3,
 			e.Rank, e.Detail, sep)

@@ -57,6 +57,29 @@ func TestChromeTraceIsValidJSON(t *testing.T) {
 	}
 }
 
+func TestChromeTraceFaultCategory(t *testing.T) {
+	r := New()
+	s := r.Begin()
+	r.End(0, "POTRF", s, "sn=1")
+	s = r.Begin()
+	r.End(1, "fault:re-request", s, "blk=7")
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	cats := map[string]string{}
+	for _, e := range parsed {
+		cats[e["name"].(string)] = e["cat"].(string)
+	}
+	if cats["POTRF"] != "task" || cats["fault:re-request"] != "fault" {
+		t.Fatalf("categories wrong: %v", cats)
+	}
+}
+
 func TestChromeTraceEmpty(t *testing.T) {
 	r := New()
 	var buf bytes.Buffer

@@ -24,10 +24,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"sympack/internal/faults"
 	"sympack/internal/gpu"
 	"sympack/internal/machine"
 	"sympack/internal/simnet"
+	"sympack/internal/trace"
 )
 
 // Config describes the simulated job layout.
@@ -40,6 +43,19 @@ type Config struct {
 	// (0 = unbounded). All ranks bound to a device share its capacity,
 	// as on a real node.
 	DeviceCapacity int64
+	// Faults, when non-nil, is consulted on every RPC, transfer, and
+	// device allocation; nil means a perfect network.
+	Faults *faults.Injector
+	// Trace, when non-nil, receives instant fault/recovery events so
+	// Chrome traces show them alongside task events.
+	Trace *trace.Recorder
+	// TransferAttempts bounds the retry loop of a transiently failing
+	// Rget/Rput/Copy (0 = default 8).
+	TransferAttempts int
+	// TransferBackoff is the modeled seconds charged for the first retry
+	// wait; it doubles per attempt, so TransferAttempts × TransferBackoff
+	// defines the per-operation timeout (0 = default 2µs).
+	TransferBackoff float64
 }
 
 // Runtime is one simulated UPC++ job.
@@ -70,6 +86,16 @@ type Stats struct {
 	ByPath  [6]atomic.Int64 // transfer count per simnet.Path
 	Bytes   [6]atomic.Int64 // bytes per simnet.Path
 	Dropped atomic.Int64    // RPCs delivered after abort
+
+	// Fault-injection and recovery counters (zero on a perfect network).
+	DroppedSignals   atomic.Int64 // RPCs discarded by the injector
+	DupSignals       atomic.Int64 // RPCs delivered twice
+	DelayedSignals   atomic.Int64 // RPCs deferred by progress ticks
+	TransferRetries  atomic.Int64 // transfer attempts that failed and retried
+	TransferFailures atomic.Int64 // transfers whose retry budget ran out
+	Stalls           atomic.Int64 // injected rank-stall windows
+	ReRequests       atomic.Int64 // consumer re-requests for lost signals
+	Redeliveries     atomic.Int64 // producer re-announcements of done blocks
 }
 
 // NewRuntime creates a runtime with the given layout.
@@ -79,6 +105,12 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	}
 	if cfg.RanksPerNode <= 0 {
 		cfg.RanksPerNode = cfg.Ranks
+	}
+	if cfg.TransferAttempts <= 0 {
+		cfg.TransferAttempts = 8
+	}
+	if cfg.TransferBackoff <= 0 {
+		cfg.TransferBackoff = 2e-6
 	}
 	rt := &Runtime{
 		cfg: cfg,
@@ -90,6 +122,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		rt.devices = make([]*gpu.Device, nodes*cfg.GPUsPerNode)
 		for i := range rt.devices {
 			rt.devices[i] = gpu.NewDevice(i, cfg.Machine, cfg.DeviceCapacity)
+			rt.devices[i].SetFaults(cfg.Faults)
 		}
 	}
 	rt.ranks = make([]*Rank, cfg.Ranks)
@@ -173,11 +206,19 @@ type Rank struct {
 	ID int
 	rt *Runtime
 
-	qmu  sync.Mutex
-	rpcq []func(*Rank)
+	qmu    sync.Mutex
+	rpcq   []func(*Rank)
+	delayq []delayedRPC // injected-delay holding pen, matured by Progress
 
 	device *gpu.Device
 	clock  machine.Clock
+}
+
+// delayedRPC is an enqueued RPC the injector deferred by `ticks` progress
+// calls on the target.
+type delayedRPC struct {
+	fn    func(*Rank)
+	ticks int
 }
 
 // Runtime returns the owning runtime.
@@ -253,49 +294,114 @@ func (r *Rank) DeviceFree(buf *gpu.Buffer) {
 // ------------------------------------------------------------- futures ----
 
 // Future represents a (already internally completed) asynchronous
-// operation, carrying its modeled duration. Callers chain work with Then
-// and synchronize with Wait, mirroring upcxx::future.
+// operation, carrying its modeled duration and, since the runtime tolerates
+// injected faults, its completion state. Callers chain work with Then and
+// synchronize with Wait, mirroring upcxx::future.
 type Future struct {
 	seconds float64
+	err     error
 }
 
 // Wait blocks until the operation is complete (a no-op in-process) and
-// returns its modeled duration.
+// returns its modeled duration. Check Err for the completion state.
 func (f Future) Wait() float64 { return f.seconds }
 
 // Seconds returns the modeled duration without waiting.
 func (f Future) Seconds() float64 { return f.seconds }
 
-// Then runs fn after completion and returns the future for chaining.
+// Err returns the operation's failure, if any. A transfer whose retry
+// budget ran out reports an error wrapping faults.ErrTransient; its data
+// must be treated as not moved.
+func (f Future) Err() error { return f.err }
+
+// OK reports whether the operation completed successfully.
+func (f Future) OK() bool { return f.err == nil }
+
+// Then runs fn after successful completion and returns the future for
+// chaining. A failed future propagates its error without running fn, so
+// continuations never observe data a faulted transfer did not deliver.
 func (f Future) Then(fn func()) Future {
-	fn()
+	if f.err == nil {
+		fn()
+	}
 	return f
 }
+
+// FailedFuture returns a future carrying an error, for layers that detect
+// failure before issuing the underlying operation.
+func FailedFuture(err error) Future { return Future{err: err} }
 
 // ------------------------------------------------------------------ RPC ----
 
 // RPC enqueues fn for execution on the target rank the next time it calls
 // Progress(). This is the paper's producer-side notification (Fig. 4 step
-// 1): fire-and-forget, no reply.
+// 1): fire-and-forget, no reply. Under fault injection the message may be
+// dropped (never enqueued), duplicated (enqueued twice — handlers must be
+// idempotent), or delayed (held until later Progress calls); the sender is
+// charged the wire latency in every case, as it would be on a real NIC.
 func (r *Rank) RPC(target int, fn func(*Rank)) {
 	rt := r.rt
 	if rt.ShouldAbort() {
 		rt.Stats.Dropped.Add(1)
 		return
 	}
-	t := rt.ranks[target]
-	t.qmu.Lock()
-	t.rpcq = append(t.rpcq, fn)
-	t.qmu.Unlock()
 	rt.Stats.RPCs.Add(1)
 	// A small active message: charge its latency to the initiator.
 	r.Charge(rt.net.Time(simnet.PathHostHost, 64, rt.Node(r.ID) == rt.Node(target)))
+	inj := rt.cfg.Faults
+	if inj.DropSignal(r.ID) {
+		rt.Stats.DroppedSignals.Add(1)
+		rt.traceFault(int32(r.ID), "fault:drop-signal", fmt.Sprintf("to=%d", target))
+		return
+	}
+	copies := 1
+	if inj.DupSignal(r.ID) {
+		copies = 2
+		rt.Stats.DupSignals.Add(1)
+		rt.traceFault(int32(r.ID), "fault:dup-signal", fmt.Sprintf("to=%d", target))
+	}
+	delay := inj.DelaySignalTicks(r.ID)
+	if delay > 0 {
+		rt.Stats.DelayedSignals.Add(1)
+		rt.traceFault(int32(r.ID), "fault:delay-signal", fmt.Sprintf("to=%d ticks=%d", target, delay))
+	}
+	t := rt.ranks[target]
+	t.qmu.Lock()
+	for i := 0; i < copies; i++ {
+		if delay > 0 {
+			t.delayq = append(t.delayq, delayedRPC{fn: fn, ticks: delay})
+		} else {
+			t.rpcq = append(t.rpcq, fn)
+		}
+	}
+	t.qmu.Unlock()
 }
 
 // Progress executes all RPCs currently queued on this rank (Fig. 4 steps
-// 2–4) and returns how many ran.
+// 2–4) and returns how many ran. It also ages injector-delayed messages
+// (each Progress call is one tick) and serves as the injection point for
+// rank-stall windows, which freeze the rank in real time the way an OS
+// scheduler hiccup or congested progress thread would.
 func (r *Rank) Progress() int {
+	if w := r.rt.cfg.Faults.StallWindow(r.ID); w > 0 {
+		r.rt.Stats.Stalls.Add(1)
+		r.rt.traceFault(int32(r.ID), "fault:rank-stall", w.String())
+		time.Sleep(w)
+		r.Charge(w.Seconds())
+	}
 	r.qmu.Lock()
+	if len(r.delayq) > 0 {
+		kept := r.delayq[:0]
+		for i := range r.delayq {
+			r.delayq[i].ticks--
+			if r.delayq[i].ticks <= 0 {
+				r.rpcq = append(r.rpcq, r.delayq[i].fn)
+			} else {
+				kept = append(kept, r.delayq[i])
+			}
+		}
+		r.delayq = kept
+	}
 	q := r.rpcq
 	r.rpcq = nil
 	r.qmu.Unlock()
@@ -305,14 +411,27 @@ func (r *Rank) Progress() int {
 	return len(q)
 }
 
-// PendingRPCs reports the queued-but-unexecuted RPC count.
+// PendingRPCs reports the queued-but-unexecuted RPC count, including
+// injector-delayed messages that have not matured yet.
 func (r *Rank) PendingRPCs() int {
 	r.qmu.Lock()
 	defer r.qmu.Unlock()
-	return len(r.rpcq)
+	return len(r.rpcq) + len(r.delayq)
+}
+
+// traceFault records an instant fault/recovery event when tracing is on.
+func (rt *Runtime) traceFault(rank int32, kind, detail string) {
+	if tr := rt.cfg.Trace; tr != nil {
+		tr.End(rank, kind, tr.Begin(), detail)
+	}
 }
 
 // -------------------------------------------------------------- RMA ops ----
+
+// ErrTransferFailed is carried by the future of a transfer whose bounded
+// retry budget was exhausted. It wraps faults.ErrTransient: callers that
+// can re-request the data later should; callers that cannot may escalate.
+var ErrTransferFailed = fmt.Errorf("upcxx: transfer failed after retries: %w", faults.ErrTransient)
 
 func (r *Rank) account(p simnet.Path, bytes int64, sameNode bool) float64 {
 	rt := r.rt
@@ -323,39 +442,94 @@ func (r *Rank) account(p simnet.Path, bytes int64, sameNode bool) float64 {
 	return dt
 }
 
+// retryTransfer runs the injector's transfer-fault gauntlet for one RMA
+// operation: each failed attempt charges an exponentially growing backoff
+// to the rank's virtual clock, and the attempt cap bounds the operation's
+// modeled timeout (TransferAttempts × doubling TransferBackoff). It returns
+// the modeled seconds burned on retries and ErrTransferFailed when the
+// budget runs out, in which case the caller must not move the data.
+func (r *Rank) retryTransfer(kind string) (float64, error) {
+	rt := r.rt
+	inj := rt.cfg.Faults
+	if inj == nil {
+		return 0, nil
+	}
+	var extra float64
+	backoff := rt.cfg.TransferBackoff
+	for attempt := 1; ; attempt++ {
+		if !inj.TransferFault(r.ID) {
+			return extra, nil
+		}
+		rt.Stats.TransferRetries.Add(1)
+		rt.traceFault(int32(r.ID), "fault:transfer-retry", fmt.Sprintf("%s attempt=%d", kind, attempt))
+		if attempt >= rt.cfg.TransferAttempts {
+			rt.Stats.TransferFailures.Add(1)
+			rt.traceFault(int32(r.ID), "fault:transfer-timeout", kind)
+			return extra, fmt.Errorf("%s: %w", kind, ErrTransferFailed)
+		}
+		extra += backoff
+		backoff *= 2
+	}
+}
+
 // Rget copies Len elements from a (possibly remote) source into local host
-// memory — upcxx::rget, the one-sided pull of Fig. 4 step 5.
+// memory — upcxx::rget, the one-sided pull of Fig. 4 step 5. Transient
+// injected faults are retried internally; a future with a non-nil Err means
+// the destination was not written.
 func (r *Rank) Rget(src GlobalPtr, dst []float64) Future {
 	if len(dst) != src.Len() {
 		panic(fmt.Sprintf("upcxx: Rget length mismatch %d vs %d", len(dst), src.Len()))
 	}
+	r.rt.Stats.Rgets.Add(1)
+	extra, err := r.retryTransfer("rget")
+	if extra > 0 {
+		r.Charge(extra)
+	}
+	if err != nil {
+		return Future{seconds: extra, err: err}
+	}
 	copy(dst, src.Data)
 	same := src.Rank == int32(r.ID)
 	p := r.rt.net.Classify(src.Kind, simnet.Host, same, r.sameNode(src.Rank))
-	r.rt.Stats.Rgets.Add(1)
-	return Future{seconds: r.account(p, int64(len(dst)*8), r.sameNode(src.Rank))}
+	return Future{seconds: extra + r.account(p, int64(len(dst)*8), r.sameNode(src.Rank))}
 }
 
 // Rput copies local host data into a (possibly remote) destination —
-// upcxx::rput.
+// upcxx::rput. Retry semantics match Rget.
 func (r *Rank) Rput(src []float64, dst GlobalPtr) Future {
 	if len(src) != dst.Len() {
 		panic(fmt.Sprintf("upcxx: Rput length mismatch %d vs %d", len(src), dst.Len()))
 	}
+	r.rt.Stats.Rputs.Add(1)
+	extra, err := r.retryTransfer("rput")
+	if extra > 0 {
+		r.Charge(extra)
+	}
+	if err != nil {
+		return Future{seconds: extra, err: err}
+	}
 	copy(dst.Data, src)
 	same := dst.Rank == int32(r.ID)
 	p := r.rt.net.Classify(simnet.Host, dst.Kind, same, r.sameNode(dst.Rank))
-	r.rt.Stats.Rputs.Add(1)
-	return Future{seconds: r.account(p, int64(len(src)*8), r.sameNode(dst.Rank))}
+	return Future{seconds: extra + r.account(p, int64(len(src)*8), r.sameNode(dst.Rank))}
 }
 
 // Copy moves data between any two global pointers regardless of kind or
 // affinity — upcxx::copy(), the memory-kinds workhorse (§4.1). With GDR
 // enabled a host→remote-device copy is zero-copy; without it the transfer
 // stages through host memory, exactly the difference Fig. 5 measures.
+// Retry semantics match Rget.
 func (r *Rank) Copy(src, dst GlobalPtr) Future {
 	if src.Len() != dst.Len() {
 		panic(fmt.Sprintf("upcxx: Copy length mismatch %d vs %d", src.Len(), dst.Len()))
+	}
+	r.rt.Stats.Copies.Add(1)
+	extra, err := r.retryTransfer("copy")
+	if extra > 0 {
+		r.Charge(extra)
+	}
+	if err != nil {
+		return Future{seconds: extra, err: err}
 	}
 	copy(dst.Data, src.Data)
 	same := src.Rank == dst.Rank
@@ -364,17 +538,15 @@ func (r *Rank) Copy(src, dst GlobalPtr) Future {
 	if same {
 		if src.Kind != dst.Kind {
 			// Host↔device within one process: PCIe copy.
-			r.rt.Stats.Copies.Add(1)
 			dt := r.rt.cfg.Machine.HostDeviceCopyTime(int64(src.Len() * 8))
 			r.Charge(dt)
-			return Future{seconds: dt}
+			return Future{seconds: extra + dt}
 		}
 		p = simnet.PathLocal
 	} else {
 		p = r.rt.net.Classify(src.Kind, dst.Kind, false, sameNode)
 	}
-	r.rt.Stats.Copies.Add(1)
-	return Future{seconds: r.account(p, int64(src.Len()*8), sameNode)}
+	return Future{seconds: extra + r.account(p, int64(src.Len()*8), sameNode)}
 }
 
 func (r *Rank) sameNode(other int32) bool {

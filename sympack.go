@@ -25,6 +25,7 @@ import (
 
 	"sympack/internal/baseline"
 	"sympack/internal/core"
+	"sympack/internal/faults"
 	"sympack/internal/gen"
 	"sympack/internal/gpu"
 	"sympack/internal/machine"
@@ -95,6 +96,38 @@ type Stats = core.Stats
 
 // ErrNotPositiveDefinite is returned when the input matrix is not SPD.
 var ErrNotPositiveDefinite = core.ErrNotPositiveDefinite
+
+// FaultPlan is a seeded deterministic fault-injection plan for the PGAS
+// runtime and the simulated devices; set Options.Faults to enable chaos
+// testing of a factorization.
+type FaultPlan = faults.Plan
+
+// FaultStats aggregates the fault and recovery counters of a run (see
+// Stats.Faults and Factor.SolveStats.Faults).
+type FaultStats = core.FaultStats
+
+// HealthReport is the stall watchdog's structured per-rank diagnosis.
+type HealthReport = core.HealthReport
+
+// Typed failure taxonomy, re-exported so callers can branch with errors.Is
+// against the facade alone.
+var (
+	ErrTransient    = core.ErrTransient
+	ErrDeviceFailed = core.ErrDeviceFailed
+	ErrLostSignal   = core.ErrLostSignal
+	ErrStalled      = core.ErrStalled
+)
+
+// DefaultChaosPlan returns a moderate plan exercising every recoverable
+// fault class (permanent device death is opted into separately).
+func DefaultChaosPlan(seed int64) FaultPlan { return faults.DefaultChaos(seed) }
+
+// ParseFaultPlan builds a plan from a spec like
+// "drop=0.02,dup=0.02,delay=0.05,transfer=0.02,oom=0.05,stall=0.002"
+// (class=rate or class=rate/limit; "all" covers every transient class).
+func ParseFaultPlan(spec string, seed int64) (FaultPlan, error) {
+	return faults.Parse(spec, seed)
+}
 
 // Factorize computes the sparse Cholesky factorization of a using the
 // fan-out distributed algorithm of the paper.
