@@ -13,11 +13,14 @@ package sympack
 // series standalone.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"sympack/internal/blas"
 	"sympack/internal/des"
+	"sympack/internal/faults"
 	"sympack/internal/gen"
 	"sympack/internal/gpu"
 	"sympack/internal/machine"
@@ -392,6 +395,39 @@ func BenchmarkFactorizeEndToEnd(b *testing.B) {
 		if _, err := Factorize(a, Options{Ranks: 4}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkWorkersScaling measures the intra-rank worker pool (DESIGN.md
+// §9) on a real factorization: one rank, 1/2/4/8 executor goroutines over
+// the largest end-to-end problem. The EXPERIMENTS.md workers-scaling table
+// is produced from this benchmark. Kernel-compute scaling is bounded by
+// GOMAXPROCS, so the pure-CPU group shows speedup only on multi-core hosts;
+// the stall group injects real-time progress-stream stalls (an OS hiccup on
+// the UPC++ progress thread) and shows the pool's second win — the
+// dedicated progress goroutine absorbs the stalls while executors keep
+// computing — which holds at any core count.
+func BenchmarkWorkersScaling(b *testing.B) {
+	a := gen.Laplace3D(12, 12, 12)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("cpu/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Factorize(a, Options{Ranks: 1, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("stalls/workers=%d", w), func(b *testing.B) {
+			plan := FaultPlan{Seed: 7, StallWindow: 200 * time.Microsecond}
+			plan.Rate[faults.RankStall] = 0.05
+			for i := 0; i < b.N; i++ {
+				if _, err := Factorize(a, Options{Ranks: 1, Workers: w, Faults: &plan}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -27,6 +27,7 @@ func main() {
 		rhsPath = flag.String("b", "", "right-hand side file (one value per line; default: all ones)")
 		outPath = flag.String("o", "", "solution output file (default stdout)")
 		ranks   = flag.Int("ranks", 4, "simulated UPC++ processes")
+		workers = flag.Int("workers", 0, "executor goroutines per rank (0 = SYMPACK_WORKERS env, else GOMAXPROCS/ranks)")
 		gpus    = flag.Int("gpus", 0, "GPUs per node (0 = CPU only)")
 		ordName = flag.String("ordering", "SCOTCH", "fill-reducing ordering")
 		refine  = flag.Bool("refine", false, "apply iterative refinement")
@@ -42,7 +43,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spsolve:", err)
 		os.Exit(1)
 	}
-	if err := run(*matPath, *rhsPath, *outPath, *ranks, *gpus, *ordName, *refine, *saveFac, *loadFac, *selDiag, plan); err != nil {
+	if err := run(*matPath, *rhsPath, *outPath, *ranks, *workers, *gpus, *ordName, *refine, *saveFac, *loadFac, *selDiag, plan); err != nil {
 		fmt.Fprintln(os.Stderr, "spsolve:", err)
 		os.Exit(1)
 	}
@@ -69,7 +70,7 @@ func faultPlan(spec string, chaos int64) (*sympack.FaultPlan, error) {
 	}
 }
 
-func run(matPath, rhsPath, outPath string, ranks, gpus int, ordName string, refine bool, saveFac, loadFac, selDiag string, plan *sympack.FaultPlan) error {
+func run(matPath, rhsPath, outPath string, ranks, workers, gpus int, ordName string, refine bool, saveFac, loadFac, selDiag string, plan *sympack.FaultPlan) error {
 	var (
 		a   *sympack.Matrix
 		f   *sympack.Factor
@@ -102,7 +103,7 @@ func run(matPath, rhsPath, outPath string, ranks, gpus int, ordName string, refi
 			return err
 		}
 		f, err = sympack.Factorize(a, sympack.Options{
-			Ranks: ranks, GPUsPerNode: gpus, Ordering: ord, Faults: plan,
+			Ranks: ranks, Workers: workers, GPUsPerNode: gpus, Ordering: ord, Faults: plan,
 		})
 		if err != nil {
 			return err

@@ -33,6 +33,7 @@ func main() {
 		nrhs     = flag.Int("nrhs", 1, "number of right-hand sides to solve")
 		ordName  = flag.String("ordering", "SCOTCH", "fill-reducing ordering: SCOTCH|AMD|RCM|NATURAL")
 		ranks    = flag.Int("ranks", 4, "number of UPC++ processes to simulate")
+		workers  = flag.Int("workers", 0, "executor goroutines per rank (0 = SYMPACK_WORKERS env, else GOMAXPROCS/ranks)")
 		rpn      = flag.Int("ranks-per-node", 0, "ranks per node (0 = all on one node)")
 		gpus     = flag.Int("gpus", 0, "GPUs per node (0 = CPU only)")
 		devCap   = flag.Int64("device-mem", 0, "device memory per GPU in MiB (0 = unbounded)")
@@ -58,6 +59,7 @@ func main() {
 	}
 	opt := sympack.Options{
 		Ranks:        *ranks,
+		Workers:      *workers,
 		RanksPerNode: *rpn,
 		GPUsPerNode:  *gpus,
 		Ordering:     ord,
@@ -92,8 +94,8 @@ func main() {
 		os.Exit(1)
 	}
 	st := &f.Stats
-	fmt.Printf("factorization: wall=%v  modeled=%.4gs  supernodes=%d  blocks=%d  updates=%d\n",
-		st.Wall, st.ModelSeconds, st.Supernodes, st.Blocks, st.Updates)
+	fmt.Printf("factorization: wall=%v  modeled=%.4gs  supernodes=%d  blocks=%d  updates=%d  workers/rank=%d\n",
+		st.Wall, st.ModelSeconds, st.Supernodes, st.Blocks, st.Updates, st.Workers)
 	fmt.Printf("factor: nnz(L)=%d  flops=%.3g  fill=%.2fx\n",
 		st.NnzL, float64(st.FactorFlop), float64(st.NnzL)/float64(a.Nnz()))
 	if st.FallbacksOOM > 0 {

@@ -74,40 +74,47 @@ func TestChaosMatrix(t *testing.T) {
 		{"oom", faults.TransientOOM, 0.5, 1},
 		{"stall", faults.RankStall, 0.02, 0},
 	}
+	// The workers axis crosses every fault class with the intra-rank pool:
+	// recovery must hold when the progress goroutine races executor
+	// workers, not just on the sequential loop.
 	for _, tc := range cases {
 		for _, seed := range chaosSeeds(t) {
 			for _, ranks := range []int{1, 4, 8} {
-				t.Run(fmt.Sprintf("%s/seed%d/p%d", tc.name, seed, ranks), func(t *testing.T) {
-					opt := Options{
-						Ranks:        ranks,
-						Faults:       planWith(seed, tc.c, tc.rate),
-						StallTimeout: 20 * time.Second,
-					}
-					if tc.gpus > 0 {
-						opt.GPUsPerNode = tc.gpus
-						opt.Thresholds = &th
-					}
-					f, err := Factorize(a, opt)
-					if err != nil {
-						t.Fatalf("factorize under %s faults: %v", tc.name, err)
-					}
-					if r := distSolveCheck(t, a, f, seed); r > 1e-10 {
-						t.Fatalf("residual %g under %s faults", r, tc.name)
-					}
-				})
+				for _, workers := range []int{1, 4} {
+					t.Run(fmt.Sprintf("%s/seed%d/p%d/w%d", tc.name, seed, ranks, workers), func(t *testing.T) {
+						opt := Options{
+							Ranks:        ranks,
+							Workers:      workers,
+							Faults:       planWith(seed, tc.c, tc.rate),
+							StallTimeout: 20 * time.Second,
+						}
+						if tc.gpus > 0 {
+							opt.GPUsPerNode = tc.gpus
+							opt.Thresholds = &th
+						}
+						f, err := Factorize(a, opt)
+						if err != nil {
+							t.Fatalf("factorize under %s faults: %v", tc.name, err)
+						}
+						if r := distSolveCheck(t, a, f, seed); r > 1e-10 {
+							t.Fatalf("residual %g under %s faults", r, tc.name)
+						}
+					})
+				}
 			}
 		}
 	}
 }
 
-// TestChaosAllClassesCombined piles every recoverable class into one plan.
+// TestChaosAllClassesCombined piles every recoverable class into one plan,
+// on a four-worker pool so every recovery path also runs concurrently.
 func TestChaosAllClassesCombined(t *testing.T) {
 	a := gen.Laplace2D(9, 8)
 	th := gpu.Thresholds{Potrf: 1, Trsm: 1, Syrk: 1, Gemm: 1}
 	for _, seed := range chaosSeeds(t) {
 		p := faults.DefaultChaos(seed)
 		f, err := Factorize(a, Options{
-			Ranks: 4, GPUsPerNode: 1, Thresholds: &th,
+			Ranks: 4, Workers: 4, GPUsPerNode: 1, Thresholds: &th,
 			Faults:       &p,
 			StallTimeout: 20 * time.Second,
 		})
@@ -253,14 +260,17 @@ func TestChaosGenuineOOMStillAborts(t *testing.T) {
 }
 
 // TestChaosDeterministicCounters runs the same seeded single-rank plan
-// twice; with one rank the decision stream is fully ordered, so the
-// injection counters must match exactly.
+// twice; with one rank and one worker the decision stream is fully ordered,
+// so the injection counters must match exactly. (Workers is pinned to 1:
+// the factor itself is deterministic under any pool size, but the *order*
+// in which concurrent workers consult the injector is not, so counter
+// equality is only guaranteed sequentially.)
 func TestChaosDeterministicCounters(t *testing.T) {
 	a := gen.Laplace2D(9, 8)
 	th := gpu.Thresholds{Potrf: 1, Trsm: 1, Syrk: 1, Gemm: 1}
 	run := func() FaultStats {
 		f, err := Factorize(a, Options{
-			Ranks: 1, GPUsPerNode: 1, Thresholds: &th,
+			Ranks: 1, Workers: 1, GPUsPerNode: 1, Thresholds: &th,
 			Faults:       planWith(11, faults.TransientOOM, 0.3),
 			StallTimeout: 20 * time.Second,
 		})

@@ -14,6 +14,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"os"
+	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +35,15 @@ import (
 type Options struct {
 	// Ranks is the number of UPC++ processes to simulate (default 1).
 	Ranks int
+	// Workers is the size of each rank's intra-rank worker pool: the
+	// number of executor goroutines concurrently running ready tasks while
+	// a dedicated progress goroutine serves communication. 1 selects the
+	// sequential loop of paper Fig. 3. 0 means the default: the
+	// SYMPACK_WORKERS environment variable if set, otherwise
+	// GOMAXPROCS/Ranks (at least 1). The factor is bit-identical across
+	// worker counts — update contributions are applied in a canonical
+	// order regardless of completion interleaving.
+	Workers int
 	// RanksPerNode controls node locality in the communication model
 	// (default: all ranks on one node).
 	RanksPerNode int
@@ -134,6 +146,19 @@ func (o Options) withDefaults() Options {
 	if o.Ranks < 1 {
 		o.Ranks = 1
 	}
+	if o.Workers == 0 {
+		if s := os.Getenv("SYMPACK_WORKERS"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				o.Workers = v
+			}
+		}
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0) / o.Ranks
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
 	if o.Thresholds == nil {
 		t := gpu.DefaultThresholds()
 		o.Thresholds = &t
@@ -182,6 +207,10 @@ func (s *OpStats) Total() int64 {
 // Stats reports what a factorization did.
 type Stats struct {
 	PerRank []OpStats // kernel counts per rank (Fig. 6 plots rank 0)
+
+	// Workers is the per-rank executor pool size the run used (after
+	// defaulting), for reports and the workers-scaling experiments.
+	Workers int
 
 	Wall         time.Duration // actual wall-clock time of the numeric phase
 	ModelSeconds float64       // max over ranks of modeled virtual time
@@ -245,6 +274,7 @@ func FactorizeAnalyzed(st *symbolic.Structure, pa *matrix.SparseSym, opt Options
 
 	f := &Factor{St: st, Opt: opt, Data: make([][]float64, len(st.Blocks))}
 	f.Stats.PerRank = make([]OpStats, opt.Ranks)
+	f.Stats.Workers = opt.Workers
 	f.Stats.NnzL = st.NnzL
 	f.Stats.FactorFlop = st.FactorFlop
 	f.Stats.Supernodes = st.NumSupernodes()
@@ -285,7 +315,7 @@ func FactorizeAnalyzed(st *symbolic.Structure, pa *matrix.SparseSym, opt Options
 		if err := r.Barrier(); err != nil {
 			return
 		}
-		e.factorLoop()
+		e.run()
 		// A rank that finishes early must keep serving RPCs until every
 		// rank is done: consumers whose announcements were lost direct
 		// re-requests at this rank, and the barrier does not drain queues.
@@ -305,8 +335,8 @@ func FactorizeAnalyzed(st *symbolic.Structure, pa *matrix.SparseSym, opt Options
 		return nil, err
 	}
 	for _, e := range engines {
-		f.Stats.PerRank[e.r.ID] = e.ops
-		f.Stats.FallbacksOOM += e.oomFallbacks
+		f.Stats.PerRank[e.r.ID] = e.opStats()
+		f.Stats.FallbacksOOM += e.oomFallbacks.Load()
 		if s := e.r.Elapsed(); s > f.Stats.ModelSeconds {
 			f.Stats.ModelSeconds = s
 		}

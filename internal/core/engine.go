@@ -1,9 +1,11 @@
 package core
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -26,20 +28,57 @@ const (
 	taskUpdate                 // U_{i,j,k}: SYRK/GEMM update
 )
 
-// task is one RTQ entry: a block id for D/F, an update index for U.
+// task is one RTQ entry: a block id for D/F, an update index for U. The
+// seq and depth fields are the scheduling keys: seq is the push order
+// (FIFO/LIFO) and depth the critical-path priority, cached at push time so
+// the heap comparator never touches engine state.
 type task struct {
-	kind taskKind
-	id   int32
+	kind  taskKind
+	id    int32
+	seq   int64
+	depth int32
 }
 
 // fetched caches a pulled (or locally produced) source block, optionally
 // with a device-resident mirror for the paper's "GPU blocks" optimization.
+// once guards the lazy device→host materialization in hostOf: several
+// executor workers may consume the same source block concurrently.
 type fetched struct {
 	host []float64
 	dev  *gpu.Buffer
+	once sync.Once
+}
+
+// parkedUpd is a computed update contribution waiting for its canonical
+// apply turn on the target block.
+type parkedUpd struct {
+	ui      int32
+	scratch []float64
+}
+
+// blockApply sequences update applications into one target block. Because
+// floating-point subtraction is not associative, contributions must land in
+// a canonical order — ascending update index — for the factor to be
+// bit-identical across worker counts, rank counts and scheduling policies.
+// A worker whose update finishes out of turn parks the scratch buffer here;
+// the worker that completes the preceding update drains the parked queue.
+type blockApply struct {
+	mu     sync.Mutex
+	next   int32 // canonical sequence number of the next update to apply
+	parked map[int32]parkedUpd
 }
 
 // engine is the per-rank state of the fan-out factorization.
+//
+// Concurrency: with Options.Workers > 1 the rank runs a worker pool —
+// `workers` executor goroutines pulling tasks from the RTQ — plus one
+// dedicated progress goroutine (the rank's own goroutine) that owns
+// upcxx.Progress, inbox draining and the re-request protocol. The mutex mu
+// guards all scheduler state: the RTQ heap, dependency counters, avail,
+// inbox, wanted/reqAt/reqCount, produced and doneTasks. Numeric kernels run
+// outside mu; ordered application into target blocks is serialized per
+// block by blockApply. Lock order: blockApply.mu before engine.mu, never
+// the reverse.
 type engine struct {
 	r   *upcxx.Rank
 	st  *symbolic.Structure
@@ -50,9 +89,22 @@ type engine struct {
 	dir []upcxx.GlobalPtr // shared global directory of block pointers
 	// peers is the per-factorization engine registry (index = rank).
 	// Producer RPC closures use it to reach the consumer's inbox; the
-	// closure executes on the consumer's goroutine inside Progress(), so
-	// only the consumer touches its own engine state.
+	// closure executes on the consumer's progress goroutine inside
+	// Progress() and goes through the locked enqueueSignal, because the
+	// consumer's executor workers share the engine state.
 	peers []*engine
+
+	// mu guards the scheduler state listed above; cond wakes idle workers
+	// when a task is pushed or the run ends.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers int
+	stopped bool // set on completion or abort; workers exit
+	// inflight counts tasks popped but not yet completed, so the progress
+	// goroutine can tell "workers busy" from "rank starved" when deciding
+	// to suspect lost announcements.
+	inflight int
+	pushSeq  int64
 
 	owned [][]float64 // per block id: storage for blocks this rank owns
 
@@ -72,11 +124,19 @@ type engine struct {
 	// it (waiting on the supernode's diagonal factor).
 	localFOfSnode [][]int32
 
+	// applySeq[ui] is the canonical position of update ui among the
+	// updates targeting the same block (ascending update index), and blk
+	// holds the per-block ordered-apply state. Together they make the
+	// scatter-subtract order — and therefore the factor bits — independent
+	// of execution interleaving.
+	applySeq []int32
+	blk      []blockApply
+
 	// signals received but not yet processed: block ids announced by
 	// producers via RPC.
 	inbox []int32
 
-	rtq []task
+	rtq readyQueue
 	// progress counts executed tasks for the stall watchdog (shared
 	// across ranks; may be nil in tests constructing engines directly).
 	progress *atomic.Int64
@@ -89,8 +149,9 @@ type engine struct {
 
 	// Resilience state (lost-signal recovery, paper Fig. 4 hardened).
 	// produced[bid] is set by this rank once it has factored and announced
-	// block bid; the re-request handler reads it on this rank's goroutine
-	// inside Progress, so no locking is needed.
+	// block bid; writers are executor workers and the reader is the
+	// re-request RPC handler on the progress goroutine, so both sides go
+	// through mu.
 	produced []bool
 	// wanted holds source block ids this rank's remaining tasks still
 	// await; entries leave on acquire. Its remote members are the
@@ -104,24 +165,26 @@ type engine struct {
 	reqCount map[int32]int
 
 	// demoted is set when this rank's device dies mid-run: every later
-	// offload decision answers CPU.
-	demoted bool
+	// offload decision answers CPU. Any worker may demote; all consult it.
+	demoted atomic.Bool
 
 	// Health mirrors: the stall watchdog's goroutine reads these while the
 	// rank runs, so they are atomics updated once per loop iteration.
 	hDone, hTotal, hRTQ, hInbox, hWanted atomic.Int32
 	hReRequests                          atomic.Int64
 
-	ops          OpStats
-	oomFallbacks int64
-	xferFailures int64
+	// Kernel counters, atomic because every worker increments them.
+	opsCPU       [machine.NumOps]atomic.Int64
+	opsGPU       [machine.NumOps]atomic.Int64
+	oomFallbacks atomic.Int64
+	xferFailures atomic.Int64
 	// allocRetries/demotions are read by the watchdog mid-run.
 	allocRetries atomic.Int64
 	demotions    atomic.Int64
 }
 
 func newEngine(r *upcxx.Rank, st *symbolic.Structure, tg *symbolic.TaskGraph, a *matrix.SparseSym, m2d symbolic.BlockMap, opt *Options, dir []upcxx.GlobalPtr, peers []*engine) *engine {
-	return &engine{
+	e := &engine{
 		r: r, st: st, tg: tg, a: a, m2d: m2d, opt: opt, dir: dir, peers: peers,
 		owned:                make([][]float64, len(st.Blocks)),
 		depBlock:             make([]int32, len(st.Blocks)),
@@ -129,11 +192,20 @@ func newEngine(r *upcxx.Rank, st *symbolic.Structure, tg *symbolic.TaskGraph, a 
 		avail:                make([]*fetched, len(st.Blocks)),
 		updatesByLocalSource: make([][]int32, len(st.Blocks)),
 		localFOfSnode:        make([][]int32, len(st.Snodes)),
+		applySeq:             make([]int32, len(tg.Updates)),
+		blk:                  make([]blockApply, len(st.Blocks)),
 		produced:             make([]bool, len(st.Blocks)),
 		wanted:               map[int32]bool{},
 		reqAt:                map[int32]int64{},
 		reqCount:             map[int32]int{},
+		workers:              opt.Workers,
 	}
+	if e.workers < 1 {
+		e.workers = 1
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.rtq.e = e
+	return e
 }
 
 // mine reports whether this rank owns a block.
@@ -171,7 +243,11 @@ func (e *engine) setup() {
 			e.push(taskFor(b), b.ID)
 		}
 	}
-	// Update tasks execute at the target's owner.
+	// Update tasks execute at the target's owner. The ascending sweep also
+	// fixes each update's canonical apply position within its target block
+	// (applySeq), the order the ordered-apply machinery enforces at run
+	// time regardless of which worker finishes first.
+	updsIntoBlock := make([]int32, len(st.Blocks))
 	for ui := range tg.Updates {
 		u := &tg.Updates[ui]
 		if !e.mine(&st.Blocks[u.Target]) {
@@ -182,6 +258,8 @@ func (e *engine) setup() {
 			deps = 1
 		}
 		e.depUpdate[int32(ui)] = deps
+		e.applySeq[ui] = updsIntoBlock[u.Target]
+		updsIntoBlock[u.Target]++
 		e.updatesByLocalSource[u.BlkA] = append(e.updatesByLocalSource[u.BlkA], int32(ui))
 		e.wanted[u.BlkA] = true
 		if u.BlkB != u.BlkA {
@@ -245,8 +323,17 @@ func (e *engine) rowPosInBlock(b *symbolic.Block, r int32) int {
 	return lo
 }
 
+// push enqueues a task whose dependencies are satisfied and wakes one idle
+// worker. Callers hold e.mu (setup runs single-threaded before the pool
+// starts, so its pushes are safe unlocked).
 func (e *engine) push(kind taskKind, id int32) {
-	e.rtq = append(e.rtq, task{kind: kind, id: id})
+	t := task{kind: kind, id: id, seq: e.pushSeq}
+	e.pushSeq++
+	if e.chainDepth != nil {
+		t.depth = e.chainDepth[e.taskSupernode(t)]
+	}
+	heap.Push(&e.rtq, t)
+	e.cond.Signal()
 }
 
 // chainDepths returns, per supernode, the length of its ancestor chain in
@@ -272,54 +359,47 @@ func (e *engine) taskSupernode(t task) int32 {
 	return e.st.Blocks[t.id].Snode
 }
 
-// pop removes the next task from the RTQ according to the scheduling
-// policy.
-func (e *engine) pop() task {
-	switch e.opt.Scheduling {
-	case SchedLIFO:
-		t := e.rtq[len(e.rtq)-1]
-		e.rtq = e.rtq[:len(e.rtq)-1]
-		return t
-	case SchedCriticalPath:
-		best := 0
-		bestDepth := e.chainDepth[e.taskSupernode(e.rtq[0])]
-		for i := 1; i < len(e.rtq); i++ {
-			if d := e.chainDepth[e.taskSupernode(e.rtq[i])]; d > bestDepth {
-				best, bestDepth = i, d
-			}
-		}
-		t := e.rtq[best]
-		e.rtq = append(e.rtq[:best], e.rtq[best+1:]...)
-		return t
-	default: // SchedFIFO
-		t := e.rtq[0]
-		e.rtq = e.rtq[1:]
-		return t
+// pop removes the highest-priority task from the RTQ heap according to the
+// scheduling policy; callers hold e.mu. The comparator (see engine.before)
+// is a strict total order, so the pop sequence is deterministic for a given
+// push sequence — no tie-break depends on queue memory layout.
+func (e *engine) pop() (task, bool) {
+	if e.rtq.Len() == 0 {
+		return task{}, false
 	}
+	return heap.Pop(&e.rtq).(task), true
 }
 
-// factorLoop is the main scheduling loop of paper Fig. 3: poll for incoming
-// notifications, then run a ready task; repeat until all local tasks are
-// done or the job aborts. When the rank idles with source blocks still
-// outstanding it suspects lost announcements and runs the re-request
-// protocol, turning what used to be a silent deadlock into recovery.
+// factorLoop is the sequential (Workers == 1) scheduling loop of paper
+// Fig. 3: poll for incoming notifications, then run a ready task; repeat
+// until all local tasks are done or the job aborts. When the rank idles
+// with source blocks still outstanding it suspects lost announcements and
+// runs the re-request protocol, turning what used to be a silent deadlock
+// into recovery. Multi-worker ranks run progressLoop/workerLoop instead
+// (pool.go); both paths share poll, pop, execute and the recovery logic.
 func (e *engine) factorLoop() {
 	rt := e.r.Runtime()
 	idle := 0
-	for e.doneTasks < e.totalTasks {
+	for {
 		if rt.ShouldAbort() {
 			return
 		}
 		e.poll()
-		e.hDone.Store(int32(e.doneTasks))
-		e.hRTQ.Store(int32(len(e.rtq)))
-		e.hInbox.Store(int32(len(e.inbox)))
-		e.hWanted.Store(int32(len(e.wanted)))
-		if len(e.rtq) == 0 {
+		e.mu.Lock()
+		e.mirrorHealth()
+		if e.doneTasks >= e.totalTasks {
+			e.mu.Unlock()
+			return
+		}
+		t, ok := e.pop()
+		e.mu.Unlock()
+		if !ok {
 			idle++
 			if idle > 256 {
 				if idle%64 == 0 {
+					e.mu.Lock()
 					e.reRequestLost()
+					e.mu.Unlock()
 				}
 				time.Sleep(20 * time.Microsecond)
 			} else {
@@ -328,11 +408,22 @@ func (e *engine) factorLoop() {
 			continue
 		}
 		idle = 0
-		e.execute(e.pop())
+		e.execute(t, 0)
+		e.mu.Lock()
+		e.doneTasks++
+		e.mu.Unlock()
 		if e.progress != nil {
 			e.progress.Add(1)
 		}
 	}
+}
+
+// mirrorHealth refreshes the watchdog's atomic snapshot; callers hold e.mu.
+func (e *engine) mirrorHealth() {
+	e.hDone.Store(int32(e.doneTasks))
+	e.hRTQ.Store(int32(e.rtq.Len()))
+	e.hInbox.Store(int32(len(e.inbox)))
+	e.hWanted.Store(int32(len(e.wanted)))
 }
 
 // drainUntil keeps executing incoming RPCs after this rank's own tasks are
@@ -362,6 +453,7 @@ func (e *engine) drainUntil(progress *atomic.Int64, total int64) {
 // themselves subject to injection — the protocol only assumes the network
 // delivers eventually, not reliably.
 func (e *engine) reRequestLost() {
+	// Callers hold e.mu (wanted/reqAt/reqCount are scheduler state).
 	rt := e.r.Runtime()
 	now := time.Now().UnixNano()
 	for bid := range e.wanted {
@@ -387,40 +479,60 @@ func (e *engine) reRequestLost() {
 			tr.End(int32(e.r.ID), "fault:re-request", tr.Begin(), fmt.Sprintf("blk=%d owner=%d", b, owner))
 		}
 		e.r.RPC(owner, func(t *upcxx.Rank) {
-			// Runs on the producer: if the block is done, re-announce it
-			// to the requester; duplicates are absorbed by acquire.
+			// Runs on the producer's progress goroutine: if the block is
+			// done, re-announce it to the requester; duplicates are
+			// absorbed by acquire. produced is written by the producer's
+			// executor workers, so read it under the producer's mu.
 			pe := peers[t.ID]
-			if !pe.produced[b] {
+			pe.mu.Lock()
+			done := pe.produced[b]
+			pe.mu.Unlock()
+			if !done {
 				return
 			}
 			rt.Stats.Redeliveries.Add(1)
 			t.RPC(requester, func(c *upcxx.Rank) {
-				peers[c.ID].inbox = append(peers[c.ID].inbox, b)
+				peers[c.ID].enqueueSignal(b)
 			})
 		})
 	}
 }
 
+// enqueueSignal records an announced block id for the next poll. It is the
+// only inbox writer and runs inside RPC closures on this rank's progress
+// goroutine; the lock orders it against the poll drain and against health
+// snapshots taken while workers run.
+func (e *engine) enqueueSignal(bid int32) {
+	e.mu.Lock()
+	e.inbox = append(e.inbox, bid)
+	e.mu.Unlock()
+}
+
 // poll drains the RPC queue (which enqueues announced block ids into the
 // inbox) and then fetches each announced block with a one-sided get,
-// updating dependency counters — paper Fig. 4 steps 2–6.
+// updating dependency counters — paper Fig. 4 steps 2–6. Only the progress
+// goroutine calls it.
 func (e *engine) poll() {
 	e.r.Progress()
-	if len(e.inbox) == 0 {
-		return
+	e.mu.Lock()
+	if len(e.inbox) > 0 {
+		inbox := e.inbox
+		e.inbox = nil
+		for _, bid := range inbox {
+			e.acquire(bid)
+		}
 	}
-	inbox := e.inbox
-	e.inbox = nil
-	for _, bid := range inbox {
-		e.acquire(bid)
-	}
+	e.mu.Unlock()
 }
 
 // acquire makes a source block locally available (fetching it if remote)
 // and propagates dependency decrements. It is idempotent — duplicated
 // announcements return early — and fault-tolerant: a transfer whose retry
 // budget ran out leaves the block in the wanted set, where the re-request
-// protocol triggers a fresh announcement and a fresh fetch.
+// protocol triggers a fresh announcement and a fresh fetch. Callers hold
+// e.mu; the mutex release at the subsequent pop is the happens-before edge
+// that lets workers read avail entries unlocked afterwards (acquire never
+// rewrites an existing entry).
 func (e *engine) acquire(bid int32) {
 	if e.avail[bid] != nil {
 		return
@@ -446,7 +558,7 @@ func (e *engine) acquire(bid int32) {
 					e.r.Device().Free(buf)
 				}
 			} else if !errors.Is(err, gpu.ErrDeviceFailed) {
-				e.oomFallbacks++
+				e.oomFallbacks.Add(1)
 			}
 		}
 		if fc.dev == nil {
@@ -455,7 +567,7 @@ func (e *engine) acquire(bid int32) {
 				// Retries exhausted: keep the block wanted and let the
 				// re-request path re-signal it; a later acquire retries
 				// the get with a fresh attempt budget.
-				e.xferFailures++
+				e.xferFailures.Add(1)
 				e.reqAt[bid] = 0
 				return
 			}
@@ -480,33 +592,39 @@ func (e *engine) acquire(bid int32) {
 }
 
 // hostOf returns the host copy of an available block, materializing it from
-// the device mirror when the block was fetched device-direct.
+// the device mirror when the block was fetched device-direct. Concurrent
+// workers consuming the same block race to materialize; once serializes.
 func (e *engine) hostOf(bid int32) []float64 {
 	fc := e.avail[bid]
-	if fc.host == nil {
-		fc.host = make([]float64, fc.dev.Len())
-		e.r.Charge(e.r.Device().DeviceToHost(fc.host, fc.dev))
-	}
+	fc.once.Do(func() {
+		if fc.host == nil {
+			fc.host = make([]float64, fc.dev.Len())
+			e.r.Charge(e.r.Device().DeviceToHost(fc.host, fc.dev))
+		}
+	})
 	return fc.host
 }
 
-func (e *engine) decBlock(bid int32) {
-	e.depBlock[bid]--
+// decBlockN retires n of a block's dependencies, readying its task at
+// zero; callers hold e.mu.
+func (e *engine) decBlockN(bid, n int32) {
+	e.depBlock[bid] -= n
 	if e.depBlock[bid] == 0 {
 		e.push(taskFor(&e.st.Blocks[bid]), bid)
 	}
 }
 
-func (e *engine) gpuEnabled() bool { return e.r.Device() != nil && !e.demoted }
+func (e *engine) decBlock(bid int32) { e.decBlockN(bid, 1) }
+
+func (e *engine) gpuEnabled() bool { return e.r.Device() != nil && !e.demoted.Load() }
 
 // demote permanently retires this rank's device after a hardware failure:
 // every subsequent offload decision answers CPU. The factorization
 // continues — slower, not dead.
 func (e *engine) demote() {
-	if e.demoted {
+	if e.demoted.Swap(true) {
 		return
 	}
-	e.demoted = true
 	e.demotions.Add(1)
 	if tr := e.opt.Trace; tr != nil {
 		tr.End(int32(e.r.ID), "fault:demote-gpu", tr.Begin(), fmt.Sprintf("dev=%d", e.r.Device().ID))
@@ -536,41 +654,48 @@ func (e *engine) devAlloc(n int) (*gpu.Buffer, error) {
 	}
 }
 
-// execute dispatches one ready task, recording it when tracing is on.
-func (e *engine) execute(t task) {
+// execute dispatches one ready task, recording it on the executing lane
+// when tracing is on. Runs outside e.mu; the caller accounts completion.
+func (e *engine) execute(t task, lane int32) {
 	tr := e.opt.Trace
 	start := tr.Begin()
 	switch t.kind {
 	case taskDiag:
 		e.runDiag(t.id)
-		tr.End(int32(e.r.ID), "D", start, fmt.Sprintf("sn=%d", e.st.Blocks[t.id].Snode))
+		tr.EndLane(int32(e.r.ID), lane, "D", start, fmt.Sprintf("sn=%d", e.st.Blocks[t.id].Snode))
 	case taskFactor:
 		e.runFactor(t.id)
-		tr.End(int32(e.r.ID), "F", start, fmt.Sprintf("blk=%d", t.id))
+		tr.EndLane(int32(e.r.ID), lane, "F", start, fmt.Sprintf("blk=%d", t.id))
 	case taskUpdate:
 		e.runUpdate(t.id)
-		tr.End(int32(e.r.ID), "U", start, fmt.Sprintf("upd=%d", t.id))
+		tr.EndLane(int32(e.r.ID), lane, "U", start, fmt.Sprintf("upd=%d", t.id))
 	}
-	e.doneTasks++
 }
 
 // announce notifies every rank holding tasks that consume block bid
 // (paper Fig. 4 step 1); the local rank is handled directly. It also
 // records the block as produced so the re-request protocol can serve
-// consumers whose notification the network lost.
+// consumers whose notification the network lost. The producing worker's
+// write to the block data happens-before every consumer read: locally via
+// e.mu (acquire under the same lock the consuming pop takes), remotely via
+// the RPC queue lock followed by the consumer's inbox drain under its mu.
 func (e *engine) announce(bid int32, consumers map[int]bool) {
+	e.mu.Lock()
 	e.produced[bid] = true
+	if consumers[e.r.ID] {
+		e.acquire(bid)
+	}
+	e.mu.Unlock()
 	for rank := range consumers {
 		if rank == e.r.ID {
-			e.acquire(bid)
 			continue
 		}
 		b := bid
 		peers := e.peers
 		e.r.RPC(rank, func(target *upcxx.Rank) {
-			// Runs on the consumer inside Progress(): record the
-			// notification; the consumer's poll loop does the get.
-			peers[target.ID].inbox = append(peers[target.ID].inbox, b)
+			// Runs on the consumer's progress goroutine inside Progress():
+			// record the notification; the consumer's poll does the get.
+			peers[target.ID].enqueueSignal(b)
 		})
 	}
 }
@@ -629,14 +754,12 @@ func (e *engine) runFactor(bid int32) {
 }
 
 // runUpdate executes U_{i,j,k}: W = B_{i,j}·B_{k,j}ᵀ (SYRK when the blocks
-// coincide), scattered and subtracted from the target block.
+// coincide), then commits the contribution through the ordered-apply path.
 func (e *engine) runUpdate(ui int32) {
 	st := e.st
 	u := &e.tg.Updates[ui]
 	ba := &st.Blocks[u.BlkA] // B_{k,j}
 	bb := &st.Blocks[u.BlkB] // B_{i,j}
-	tb := &st.Blocks[u.Target]
-	tdata := e.owned[u.Target]
 
 	w := st.Snodes[u.SrcSn].NCols() // inner dimension
 	mB := int(bb.NRows)
@@ -664,9 +787,63 @@ func (e *engine) runUpdate(ui int32) {
 		}
 	}
 
-	// Scatter-subtract into the target block. Row positions come from the
-	// source row lists; column positions are the A-block rows relative to
-	// the target supernode's first column.
+	e.applyUpdate(ui, scratch)
+}
+
+// applyUpdate commits a computed update contribution to its target block in
+// the canonical order (ascending update index, fixed in applySeq at setup).
+// An update finishing out of turn parks its scratch; the worker completing
+// the preceding update drains everything that became applicable. Because
+// every contribution lands in the same order no matter which worker, rank
+// or scheduling policy produced it — and floating-point subtraction is not
+// associative — the factor is bit-identical across all those dimensions.
+func (e *engine) applyUpdate(ui int32, scratch []float64) {
+	bid := e.tg.Updates[ui].Target
+	bs := &e.blk[bid]
+	bs.mu.Lock()
+	seq := e.applySeq[ui]
+	if seq != bs.next {
+		if bs.parked == nil {
+			bs.parked = map[int32]parkedUpd{}
+		}
+		bs.parked[seq] = parkedUpd{ui: ui, scratch: scratch}
+		bs.mu.Unlock()
+		return
+	}
+	e.scatterSub(ui, scratch)
+	bs.next++
+	applied := int32(1)
+	for {
+		p, ok := bs.parked[bs.next]
+		if !ok {
+			break
+		}
+		delete(bs.parked, bs.next)
+		e.scatterSub(p.ui, p.scratch)
+		bs.next++
+		applied++
+	}
+	bs.mu.Unlock()
+	// Lock order: blockApply.mu strictly before engine.mu.
+	e.mu.Lock()
+	e.decBlockN(bid, applied)
+	e.mu.Unlock()
+}
+
+// scatterSub subtracts one update's scratch contribution from its target
+// block. Row positions come from the source row lists; column positions are
+// the A-block rows relative to the target supernode's first column. Callers
+// hold the target's blockApply mutex.
+func (e *engine) scatterSub(ui int32, scratch []float64) {
+	st := e.st
+	u := &e.tg.Updates[ui]
+	ba := &st.Blocks[u.BlkA]
+	bb := &st.Blocks[u.BlkB]
+	tb := &st.Blocks[u.Target]
+	tdata := e.owned[u.Target]
+	mB := int(bb.NRows)
+	syrk := u.IsSyrk()
+
 	snj := &st.Snodes[u.SrcSn]
 	snk := &st.Snodes[tb.Snode]
 	rowsB := snj.Rows[bb.RowOff : bb.RowOff+bb.NRows]
@@ -691,7 +868,6 @@ func (e *engine) runUpdate(ui int32) {
 			}
 		}
 	}
-	e.decBlock(u.Target)
 }
 
 // -------------------------------------------------------- GPU execution ----
@@ -702,8 +878,18 @@ func (e *engine) offload(op machine.Op, elems int) bool {
 	return e.gpuEnabled() && e.opt.Thresholds.ShouldOffload(op, elems)
 }
 
-func (e *engine) countCPU(op machine.Op) { e.ops.CPU[op]++ }
-func (e *engine) countGPU(op machine.Op) { e.ops.GPU[op]++ }
+func (e *engine) countCPU(op machine.Op) { e.opsCPU[op].Add(1) }
+func (e *engine) countGPU(op machine.Op) { e.opsGPU[op].Add(1) }
+
+// opStats snapshots the atomic kernel counters.
+func (e *engine) opStats() OpStats {
+	var s OpStats
+	for i := range s.CPU {
+		s.CPU[i] = e.opsCPU[i].Load()
+		s.GPU[i] = e.opsGPU[i].Load()
+	}
+	return s
+}
 
 // fallbackCPU handles a failed device allocation according to policy,
 // returning true when the caller should run the CPU path. Only a genuine
@@ -716,14 +902,14 @@ func (e *engine) fallbackCPU(err error) bool {
 		return true // demoted by devAlloc; run this op on the CPU
 	}
 	if errors.Is(err, faults.ErrTransient) {
-		e.oomFallbacks++
+		e.oomFallbacks.Add(1)
 		return true
 	}
 	if e.opt.Fallback == gpu.FallbackError {
 		e.r.Runtime().Fail(fmt.Errorf("core: device allocation failed and fallback=error: %w", err))
 		return false
 	}
-	e.oomFallbacks++
+	e.oomFallbacks.Add(1)
 	return true
 }
 

@@ -1,0 +1,184 @@
+// Intra-rank worker-pool execution. A rank with Options.Workers > 1 splits
+// into N executor goroutines (workerLoop) that pull ready tasks from the
+// RTQ and one dedicated progress goroutine (progressLoop, the rank's own
+// goroutine) that owns the communication side: upcxx.Progress, inbox
+// draining, health mirroring and the lost-signal re-request protocol. The
+// split mirrors real symPACK's progress-thread configuration: computation
+// never blocks the network, and RPC handlers are serialized on one
+// goroutine per rank.
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// run executes this rank's share of the factorization: the sequential
+// Fig. 3 loop when the pool is trivial, otherwise the worker pool plus the
+// progress goroutine.
+func (e *engine) run() {
+	if e.workers <= 1 {
+		e.factorLoop()
+		return
+	}
+	rt := e.r.Runtime()
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func(lane int32) {
+			defer wg.Done()
+			defer func() {
+				// A panicking kernel must fail the job like it does on the
+				// sequential path (where the rank goroutine's recover
+				// catches it), not crash the process.
+				if p := recover(); p != nil {
+					rt.Fail(fmt.Errorf("%w: rank %d worker %d panic: %v", ErrInternal, e.r.ID, lane, p))
+					e.cond.Broadcast()
+				}
+			}()
+			e.workerLoop(lane)
+		}(int32(w))
+	}
+	e.progressLoop()
+	e.mu.Lock()
+	e.stopped = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	wg.Wait()
+}
+
+// workerLoop pulls tasks until the rank's share is done or the job stops.
+// Kernels run outside e.mu; only queue operations and completion accounting
+// hold it. Idle workers park on cond and are woken by push (new ready
+// task), by the last completion, or by run's shutdown broadcast.
+func (e *engine) workerLoop(lane int32) {
+	rt := e.r.Runtime()
+	e.mu.Lock()
+	for {
+		if e.stopped || e.doneTasks >= e.totalTasks || rt.ShouldAbort() {
+			e.mu.Unlock()
+			return
+		}
+		t, ok := e.pop()
+		if !ok {
+			e.cond.Wait()
+			continue
+		}
+		e.inflight++
+		e.mu.Unlock()
+
+		e.execute(t, lane)
+
+		e.mu.Lock()
+		e.inflight--
+		e.doneTasks++
+		if e.doneTasks >= e.totalTasks {
+			e.cond.Broadcast() // release siblings parked on an empty queue
+		}
+		e.mu.Unlock()
+		if e.progress != nil {
+			e.progress.Add(1)
+		}
+		e.mu.Lock()
+	}
+}
+
+// progressLoop is the communication half of the pool: it drives the
+// simulated UPC++ progress engine (executing incoming RPC handlers), drains
+// announced blocks into dependency decrements, refreshes the watchdog's
+// health mirrors, and — when the rank is starved (no ready tasks AND no
+// worker mid-task) with source blocks still outstanding — runs the
+// re-request protocol against suspected lost announcements.
+func (e *engine) progressLoop() {
+	rt := e.r.Runtime()
+	idle := 0
+	for {
+		if rt.ShouldAbort() {
+			return
+		}
+		e.poll()
+		e.mu.Lock()
+		e.mirrorHealth()
+		done := e.doneTasks >= e.totalTasks
+		starved := e.rtq.Len() == 0 && e.inflight == 0
+		e.mu.Unlock()
+		if done {
+			return
+		}
+		if starved {
+			idle++
+			if idle > 256 {
+				if idle%64 == 0 {
+					e.mu.Lock()
+					e.reRequestLost()
+					e.mu.Unlock()
+				}
+				time.Sleep(20 * time.Microsecond)
+			} else {
+				runtime.Gosched()
+			}
+		} else {
+			idle = 0
+			runtime.Gosched()
+		}
+	}
+}
+
+// readyQueue is the RTQ as a binary heap ordered by the scheduling policy.
+// Priorities (seq, depth) are cached in the task at push time, so Less is
+// pure and the heap never reaches back into mutable engine state.
+type readyQueue struct {
+	e     *engine
+	items []task
+}
+
+func (q *readyQueue) Len() int           { return len(q.items) }
+func (q *readyQueue) Less(i, j int) bool { return q.e.before(q.items[i], q.items[j]) }
+func (q *readyQueue) Swap(i, j int)      { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *readyQueue) Push(x any) { q.items = append(q.items, x.(task)) }
+
+func (q *readyQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	t := old[n-1]
+	q.items = old[:n-1]
+	return t
+}
+
+// before is the strict total priority order between two ready tasks:
+//
+//	FIFO          — push order (seq ascending)
+//	LIFO          — reverse push order (seq descending)
+//	CriticalPath  — longer remaining ancestor chain first, ties broken by
+//	                task kind (diag before factor before update: finishing
+//	                a panel unblocks more than starting another update)
+//	                and then by id, so equal-depth tasks pop in a fixed
+//	                order instead of whatever the queue's memory layout
+//	                yielded.
+//
+// seq is unique per rank and (kind, id) identifies a task, so every branch
+// is a total order: two distinct tasks never compare equal, which makes the
+// pop sequence deterministic for a given push sequence.
+func (e *engine) before(a, b task) bool {
+	switch e.opt.Scheduling {
+	case SchedLIFO:
+		return a.seq > b.seq
+	case SchedCriticalPath:
+		if a.depth != b.depth {
+			return a.depth > b.depth
+		}
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		return a.id < b.id
+	default: // SchedFIFO
+		return a.seq < b.seq
+	}
+}
+
+// Assert the heap contract at compile time.
+var _ heap.Interface = (*readyQueue)(nil)

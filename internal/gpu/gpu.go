@@ -27,6 +27,13 @@ var ErrOutOfMemory = errors.New("gpu: device out of memory")
 // clears: ranks bound to the device must demote themselves to CPU kernels.
 var ErrDeviceFailed = errors.New("gpu: device failed")
 
+// DefaultAdmission is the default number of concurrently admitted device
+// operations (kernels and host↔device copies) per device — the stand-in for
+// a small pool of CUDA streams. Ranks' worker pools share one device, so
+// admission is the back-pressure that keeps a device from being timeshared
+// by arbitrarily many concurrent submissions.
+const DefaultAdmission = 4
+
 // Device is one simulated GPU.
 type Device struct {
 	ID int
@@ -35,6 +42,11 @@ type Device struct {
 	mu       sync.Mutex
 	capacity int64 // in float64 elements
 	used     int64
+
+	// admit is a counting semaphore bounding concurrently executing
+	// device operations (per-op admission); every kernel and copy holds
+	// one slot for its duration.
+	admit chan struct{}
 
 	// Busy accumulates modeled kernel seconds, for utilization reports.
 	busy machine.Clock
@@ -48,8 +60,27 @@ type Device struct {
 // NewDevice creates a device with a capacity of capElems float64 elements.
 // Zero or negative capacity means unbounded.
 func NewDevice(id int, m machine.Machine, capElems int64) *Device {
-	return &Device{ID: id, M: m, capacity: capElems}
+	return &Device{ID: id, M: m, capacity: capElems, admit: make(chan struct{}, DefaultAdmission)}
 }
+
+// SetAdmission resizes the per-op admission semaphore (n ≥ 1). It must be
+// called before the device is shared with concurrent users.
+func (d *Device) SetAdmission(n int) {
+	if n < 1 {
+		n = 1
+	}
+	d.admit = make(chan struct{}, n)
+}
+
+// Admission returns the concurrent-operation limit.
+func (d *Device) Admission() int { return cap(d.admit) }
+
+// begin blocks until an admission slot is free; end releases it. Every
+// kernel and host↔device copy runs inside a begin/end pair, so at most
+// cap(admit) device operations make progress at once regardless of how many
+// executor goroutines target the device.
+func (d *Device) begin() { d.admit <- struct{}{} }
+func (d *Device) end()   { <-d.admit }
 
 // Buffer is a device-resident array. Its Data lives in host address space
 // (this is a simulation) but is accounted against the device capacity and
@@ -144,6 +175,8 @@ func (d *Device) charge(flops int64) float64 {
 // HostToDevice copies host data into a device buffer, returning modeled
 // seconds.
 func (d *Device) HostToDevice(dst *Buffer, src []float64) float64 {
+	d.begin()
+	defer d.end()
 	copy(dst.Data, src)
 	return d.M.HostDeviceCopyTime(int64(len(src) * 8))
 }
@@ -151,6 +184,8 @@ func (d *Device) HostToDevice(dst *Buffer, src []float64) float64 {
 // DeviceToHost copies device data back to the host, returning modeled
 // seconds.
 func (d *Device) DeviceToHost(dst []float64, src *Buffer) float64 {
+	d.begin()
+	defer d.end()
 	copy(dst, src.Data)
 	return d.M.HostDeviceCopyTime(int64(len(dst) * 8))
 }
@@ -159,6 +194,8 @@ func (d *Device) DeviceToHost(dst []float64, src *Buffer) float64 {
 // buffer (column-major, order n, leading dimension ld), returning modeled
 // seconds.
 func (d *Device) Potrf(n int, a *Buffer, lda int) (float64, error) {
+	d.begin()
+	defer d.end()
 	if err := blas.Potrf(blas.Lower, n, a.Data, lda); err != nil {
 		return 0, err
 	}
@@ -169,6 +206,8 @@ func (d *Device) Potrf(n int, a *Buffer, lda int) (float64, error) {
 // tasks: b (m×n) is overwritten with the solution against the lower factor
 // in a (n×n).
 func (d *Device) Trsm(m, n int, a *Buffer, lda int, b *Buffer, ldb int) float64 {
+	d.begin()
+	defer d.end()
 	blas.Trsm(blas.Right, blas.Lower, blas.Transpose, m, n, 1, a.Data, lda, b.Data, ldb)
 	return d.charge(blas.FlopsTrsm(blas.Right, m, n))
 }
@@ -177,6 +216,8 @@ func (d *Device) Trsm(m, n int, a *Buffer, lda int, b *Buffer, ldb int) float64 
 // beta = 0), producing the scratch contribution the solver scatters into
 // its target block.
 func (d *Device) Syrk(n, k int, a *Buffer, lda int, c *Buffer, ldc int) float64 {
+	d.begin()
+	defer d.end()
 	blas.Syrk(blas.Lower, blas.NoTrans, n, k, 1, a.Data, lda, 0, c.Data, ldc)
 	return d.charge(blas.FlopsSyrk(n, k))
 }
@@ -185,6 +226,8 @@ func (d *Device) Syrk(n, k int, a *Buffer, lda int, c *Buffer, ldc int) float64 
 // C m×n, producing the scratch contribution the solver scatters into its
 // target block.
 func (d *Device) Gemm(m, n, k int, a *Buffer, lda int, b *Buffer, ldb int, c *Buffer, ldc int) float64 {
+	d.begin()
+	defer d.end()
 	blas.Gemm(blas.NoTrans, blas.Transpose, m, n, k, 1, a.Data, lda, b.Data, ldb, 0, c.Data, ldc)
 	return d.charge(blas.FlopsGemm(m, n, k))
 }

@@ -9,7 +9,12 @@
 // specifications.
 package machine
 
-import "sympack/internal/blas"
+import (
+	"math"
+	"sync/atomic"
+
+	"sympack/internal/blas"
+)
 
 // Machine is a distributed-memory platform description.
 type Machine struct {
@@ -183,17 +188,27 @@ func (m *Machine) HostDeviceCopyTime(bytes int64) float64 {
 	return m.GPUCopyLatency + float64(bytes)/m.GPUCopyBandwidth
 }
 
-// Clock is a simple accumulator of modeled seconds, used by the runtime to
-// attribute virtual time to ranks.
+// Clock is an accumulator of modeled seconds, used by the runtime to
+// attribute virtual time to ranks. It is safe for concurrent use: with the
+// engine's intra-rank worker pool, several executor goroutines charge kernel
+// time to one rank's clock at once, so Advance is a lock-free CAS add.
 type Clock struct {
-	seconds float64
+	bits atomic.Uint64 // float64 seconds, as IEEE-754 bits
 }
 
 // Advance adds dt seconds.
-func (c *Clock) Advance(dt float64) { c.seconds += dt }
+func (c *Clock) Advance(dt float64) {
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + dt)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
 
 // Seconds returns the accumulated time.
-func (c *Clock) Seconds() float64 { return c.seconds }
+func (c *Clock) Seconds() float64 { return math.Float64frombits(c.bits.Load()) }
 
 // Reset zeroes the clock.
-func (c *Clock) Reset() { c.seconds = 0 }
+func (c *Clock) Reset() { c.bits.Store(0) }

@@ -18,6 +18,7 @@ import (
 // Event is one completed unit of work on a rank.
 type Event struct {
 	Rank   int32
+	Lane   int32  // intra-rank execution lane: worker index, or the rank's progress lane
 	Kind   string // "POTRF", "TRSM", "SYRK", "GEMM", "rget", "poll", ...
 	Start  time.Duration
 	End    time.Duration
@@ -45,14 +46,23 @@ func (r *Recorder) Begin() time.Duration {
 	return time.Since(r.t0)
 }
 
-// End records an event that started at the offset returned by Begin.
+// End records an event that started at the offset returned by Begin, on the
+// rank's lane 0.
 func (r *Recorder) End(rank int32, kind string, start time.Duration, detail string) {
+	r.EndLane(rank, 0, kind, start, detail)
+}
+
+// EndLane records an event on a specific execution lane of a rank. The
+// engine's worker pool gives each executor goroutine its own lane so the
+// Chrome trace shows intra-rank concurrency as parallel rows under the
+// rank's process group.
+func (r *Recorder) EndLane(rank, lane int32, kind string, start time.Duration, detail string) {
 	if r == nil {
 		return
 	}
 	now := time.Since(r.t0)
 	r.mu.Lock()
-	r.events = append(r.events, Event{Rank: rank, Kind: kind, Start: start, End: now, Detail: detail})
+	r.events = append(r.events, Event{Rank: rank, Lane: lane, Kind: kind, Start: start, End: now, Detail: detail})
 	r.mu.Unlock()
 }
 
@@ -78,9 +88,11 @@ func (r *Recorder) Events() []Event {
 	return out
 }
 
-// WriteChromeTrace emits the events as a Chrome trace-event JSON array:
-// one complete ("X") event per task, with the rank as the thread id. Load
-// the file in chrome://tracing or ui.perfetto.dev.
+// WriteChromeTrace emits the events as a Chrome trace-event JSON array: one
+// complete ("X") event per task, with the rank as the process id and the
+// intra-rank lane (worker index) as the thread id, so a multi-worker run
+// renders one row per executor goroutine grouped under its rank. Load the
+// file in chrome://tracing or ui.perfetto.dev.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString("[\n"); err != nil {
@@ -101,11 +113,11 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		}
 		// Timestamps and durations are microseconds in the format.
 		_, err := fmt.Fprintf(bw,
-			"  {\"name\":%q,\"cat\":%q,\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"detail\":%q}}%s\n",
+			"  {\"name\":%q,\"cat\":%q,\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"detail\":%q}}%s\n",
 			e.Kind, cat,
 			float64(e.Start.Nanoseconds())/1e3,
 			float64((e.End-e.Start).Nanoseconds())/1e3,
-			e.Rank, e.Detail, sep)
+			e.Rank, e.Lane, e.Detail, sep)
 		if err != nil {
 			return err
 		}

@@ -201,7 +201,11 @@ var ErrAborted = errors.New("upcxx: job aborted")
 
 // ---------------------------------------------------------------- Rank ----
 
-// Rank is one simulated UPC++ process.
+// Rank is one simulated UPC++ process. A rank may host several executor
+// goroutines (the engine's worker pool) plus one progress goroutine; the
+// clock is charge-safe from any of them, while Progress is serialized so RPC
+// handlers keep the single-threaded execution guarantee of the real
+// library's progress engine.
 type Rank struct {
 	ID int
 	rt *Runtime
@@ -209,6 +213,10 @@ type Rank struct {
 	qmu    sync.Mutex
 	rpcq   []func(*Rank)
 	delayq []delayedRPC // injected-delay holding pen, matured by Progress
+
+	// progressMu serializes Progress so handler execution is
+	// single-threaded per rank even if more than one goroutine polls.
+	progressMu sync.Mutex
 
 	device *gpu.Device
 	clock  machine.Clock
@@ -382,7 +390,14 @@ func (r *Rank) RPC(target int, fn func(*Rank)) {
 // (each Progress call is one tick) and serves as the injection point for
 // rank-stall windows, which freeze the rank in real time the way an OS
 // scheduler hiccup or congested progress thread would.
+//
+// Handlers run serialized: concurrent Progress calls queue behind one
+// another, so RPC closures may treat themselves as the only code running on
+// the rank's progress stream (they must still lock any state shared with
+// the rank's executor workers).
 func (r *Rank) Progress() int {
+	r.progressMu.Lock()
+	defer r.progressMu.Unlock()
 	if w := r.rt.cfg.Faults.StallWindow(r.ID); w > 0 {
 		r.rt.Stats.Stalls.Add(1)
 		r.rt.traceFault(int32(r.ID), "fault:rank-stall", w.String())
