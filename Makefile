@@ -1,0 +1,29 @@
+# Developer entry points. `make lint` is the exact command CI's lint job
+# runs, so one invocation reproduces the gate locally.
+
+GO ?= go
+
+.PHONY: all build test race vet lint
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# vet runs the standard analyzer set — which includes the -copylocks class
+# of checks that guards the engine's typed atomics and mutex-holding
+# structs against by-value copies — over the main and test packages.
+vet:
+	$(GO) vet ./...
+
+# lint is vet plus the custom sympacklint suite (determinism, atomicity,
+# future-error, and wall-clock invariants; see DESIGN.md §10). sympacklint
+# exits 2 on any unsuppressed finding.
+lint: vet
+	$(GO) run ./cmd/sympacklint ./...

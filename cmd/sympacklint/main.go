@@ -1,0 +1,148 @@
+// Command sympacklint runs the sympack static-analysis suite: custom
+// analyzers that mechanically enforce the solver's determinism, atomicity,
+// and future-error invariants (see DESIGN.md §10). It is runnable two
+// ways:
+//
+//	go run ./cmd/sympacklint ./...          # standalone multichecker
+//	go vet -vettool=$(which sympacklint) ./...   # as a vet tool
+//
+// Standalone mode loads the enclosing module with the stdlib-only loader
+// (internal/lint/load) and exits 2 if any diagnostic survives the
+// //lint:ignore audit, so CI can gate on it. Vet-tool mode speaks the
+// cmd/go unitchecker protocol: a single <package>.cfg JSON argument,
+// export data supplied by the build system, plus the -V=full and -flags
+// handshakes (see vetmode.go).
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sympack/internal/lint"
+	"sympack/internal/lint/analysis"
+
+	"go/token"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	for _, a := range args {
+		switch {
+		case strings.HasPrefix(a, "-V"):
+			printVersion()
+			return 0
+		case a == "-flags":
+			// The vet driver asks which extra flags the tool accepts;
+			// the suite is configuration-free.
+			fmt.Println("[]")
+			return 0
+		case a == "help" || a == "-h" || a == "-help" || a == "--help":
+			usage()
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runVet(args[0])
+	}
+	return runStandalone(args)
+}
+
+func usage() {
+	fmt.Printf("usage: sympacklint [package pattern ...]   (default ./...)\n\nanalyzers:\n")
+	for _, a := range lint.Analyzers() {
+		fmt.Printf("  %-20s %s\n", a.Name, a.Doc)
+	}
+	fmt.Printf("\nsuppress an audited finding with: //lint:ignore <analyzer> <reason>\n")
+}
+
+// printVersion implements the `-V=full` handshake cmd/go uses to build a
+// cache key for the vet tool: name, a version token, and a content hash of
+// the executable so rebuilding the tool invalidates stale results.
+func printVersion() {
+	name := strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", name, h.Sum(nil)[:16])
+}
+
+func runStandalone(patterns []string) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		return fail(err)
+	}
+	modRoot, err := findModuleRoot(wd)
+	if err != nil {
+		return fail(err)
+	}
+
+	var diags []analysis.Diagnostic
+	var fset *token.FileSet
+	wantAll := len(patterns) == 0
+	var dirs []string
+	for _, p := range patterns {
+		if strings.HasSuffix(p, "...") {
+			// Any ellipsis pattern in this single-module repo means
+			// "the whole module": the walk is cheap and extra
+			// packages never add false findings.
+			wantAll = true
+			continue
+		}
+		dirs = append(dirs, p)
+	}
+	if wantAll {
+		diags, fset, err = lint.RunModule(modRoot, lint.Analyzers())
+	} else {
+		diags, fset, err = lint.RunDirs(modRoot, dirs, lint.Analyzers())
+	}
+	if err != nil {
+		return fail(err)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Printf("%s: [%s] %s\n", relTo(wd, pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sympacklint: %d finding(s)\n", len(diags))
+		return 2
+	}
+	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "sympacklint:", err)
+	return 1
+}
+
+// relTo renders a position with a path relative to the working directory
+// when that is shorter, matching go vet's output style.
+func relTo(wd string, pos token.Position) string {
+	if rel, err := filepath.Rel(wd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		pos.Filename = rel
+	}
+	return pos.String()
+}
+
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,144 @@
+package main
+
+// Vet-tool mode: cmd/go's unitchecker protocol. `go vet
+// -vettool=sympacklint ./...` invokes the tool once per package with a
+// single JSON .cfg argument describing the unit of work: source files,
+// the import map, and the export-data files the build system already
+// produced for every dependency. The tool type-checks the unit against
+// that export data (no re-compilation of dependencies), runs the suite,
+// writes the (empty — the suite is fact-free) .vetx facts file the driver
+// expects, and exits 2 on findings so the build fails.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"sympack/internal/lint"
+	"sympack/internal/lint/load"
+)
+
+// vetConfig mirrors the JSON schema cmd/go writes for vet tools (the
+// exported fields of x/tools' unitchecker.Config).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVet(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return fail(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fail(fmt.Errorf("parsing %s: %w", cfgFile, err))
+	}
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			_ = os.WriteFile(cfg.VetxOutput, []byte("sympacklint\n"), 0o666)
+		}
+	}
+
+	// The suite's invariants are runtime properties of the solver, not of
+	// its tests (tests may use wall clocks and unordered maps freely), so
+	// test files and synthesized test-main units are skipped. Standalone
+	// mode makes the same cut via go/build's non-test file list.
+	if cfg.VetxOnly || strings.HasSuffix(cfg.ImportPath, ".test") ||
+		strings.HasSuffix(cfg.ImportPath, "_test") {
+		writeVetx()
+		return 0
+	}
+	var goFiles []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			goFiles = append(goFiles, f)
+		}
+	}
+	if len(goFiles) == 0 {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return fail(err)
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(compiler, build.Default.GOARCH),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		return fail(err)
+	}
+
+	p := &load.Package{
+		Path: cfg.ImportPath, Dir: cfg.Dir,
+		Fset: fset, Files: files, Types: tpkg, Info: info,
+	}
+	diags, err := lint.RunPackage(p, lint.Analyzers())
+	if err != nil {
+		return fail(err)
+	}
+	writeVetx()
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

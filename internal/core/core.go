@@ -303,7 +303,7 @@ func FactorizeAnalyzed(st *symbolic.Structure, pa *matrix.SparseSym, opt Options
 	})
 	defer stopWatch()
 
-	start := time.Now()
+	start := machine.WallNow()
 	totalTasks := int64(st.NumBlocks() + len(tg.Updates))
 	err = rt.Run(func(r *upcxx.Rank) {
 		e := newEngine(r, st, tg, pa, m2d, &opt, dir, engines)
@@ -322,7 +322,7 @@ func FactorizeAnalyzed(st *symbolic.Structure, pa *matrix.SparseSym, opt Options
 		e.drainUntil(&progress, totalTasks)
 		_ = r.Barrier()
 	})
-	f.Stats.Wall = time.Since(start)
+	f.Stats.Wall = machine.WallSince(start)
 	f.Stats.Faults = runtimeFaultStats(rt)
 	for _, e := range engines {
 		if e == nil {
@@ -369,7 +369,7 @@ func startWatchdog(rt *upcxx.Runtime, progress *atomic.Int64, timeout time.Durat
 	done := make(chan struct{})
 	go func() {
 		last := progress.Load()
-		ticker := time.NewTicker(timeout)
+		ticker := machine.NewWallTicker(timeout)
 		defer ticker.Stop()
 		for {
 			select {

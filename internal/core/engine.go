@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -401,7 +402,7 @@ func (e *engine) factorLoop() {
 					e.reRequestLost()
 					e.mu.Unlock()
 				}
-				time.Sleep(20 * time.Microsecond)
+				machine.Backoff(20 * time.Microsecond)
 			} else {
 				runtime.Gosched()
 			}
@@ -437,7 +438,7 @@ func (e *engine) drainUntil(progress *atomic.Int64, total int64) {
 		e.r.Progress()
 		idle++
 		if idle > 256 {
-			time.Sleep(20 * time.Microsecond)
+			machine.Backoff(20 * time.Microsecond)
 		} else {
 			runtime.Gosched()
 		}
@@ -455,8 +456,16 @@ func (e *engine) drainUntil(progress *atomic.Int64, total int64) {
 func (e *engine) reRequestLost() {
 	// Callers hold e.mu (wanted/reqAt/reqCount are scheduler state).
 	rt := e.r.Runtime()
-	now := time.Now().UnixNano()
+	now := machine.WallNow().UnixNano()
+	// Re-request in sorted block order: the recovery RPCs race the normal
+	// announcement path, and map order here would make the replayed
+	// schedule depend on Go's map randomization.
+	pending := make([]int32, 0, len(e.wanted))
 	for bid := range e.wanted {
+		pending = append(pending, bid)
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+	for _, bid := range pending {
 		if e.owned[bid] != nil {
 			continue // locally produced: delivery is a direct call, never lost
 		}
@@ -686,7 +695,14 @@ func (e *engine) announce(bid int32, consumers map[int]bool) {
 		e.acquire(bid)
 	}
 	e.mu.Unlock()
+	// Notify consumers in sorted rank order so the signal fan-out is a
+	// deterministic function of the block, not of map iteration order.
+	ranks := make([]int, 0, len(consumers))
 	for rank := range consumers {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
+	for _, rank := range ranks {
 		if rank == e.r.ID {
 			continue
 		}

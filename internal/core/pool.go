@@ -14,6 +14,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"sympack/internal/machine"
 )
 
 // run executes this rank's share of the factorization: the sequential
@@ -116,7 +118,7 @@ func (e *engine) progressLoop() {
 					e.reRequestLost()
 					e.mu.Unlock()
 				}
-				time.Sleep(20 * time.Microsecond)
+				machine.Backoff(20 * time.Microsecond)
 			} else {
 				runtime.Gosched()
 			}

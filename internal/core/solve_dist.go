@@ -7,6 +7,7 @@ import (
 
 	"sympack/internal/blas"
 	"sympack/internal/faults"
+	"sympack/internal/machine"
 	"sympack/internal/simnet"
 	"sympack/internal/symbolic"
 	"sympack/internal/upcxx"
@@ -65,7 +66,7 @@ func (f *Factor) SolveDistributed(b []float64) ([]float64, error) {
 	}
 
 	engines := make([]*solveEngine, opt.Ranks)
-	start := time.Now()
+	start := machine.WallNow()
 	err = rt.Run(func(r *upcxx.Rank) {
 		e := newSolveEngine(r, f, m2d, bp, xp, blocksByRowSn, engines)
 		engines[r.ID] = e
@@ -79,7 +80,7 @@ func (f *Factor) SolveDistributed(b []float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	f.SolveStats.Wall = time.Since(start)
+	f.SolveStats.Wall = machine.WallSince(start)
 	f.SolveStats.ModelSeconds = 0
 	f.SolveStats.Faults.Add(runtimeFaultStats(rt))
 	for _, e := range engines {
@@ -209,7 +210,7 @@ func (e *solveEngine) loop() {
 		if len(e.rtq) == 0 {
 			idle++
 			if idle > 256 {
-				time.Sleep(20 * time.Microsecond)
+				machine.Backoff(20 * time.Microsecond)
 			} else {
 				runtime.Gosched()
 			}

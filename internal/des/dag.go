@@ -1,6 +1,8 @@
 package des
 
 import (
+	"sort"
+
 	"sympack/internal/machine"
 	"sympack/internal/simnet"
 	"sympack/internal/symbolic"
@@ -347,10 +349,18 @@ func simulateSolve(st *symbolic.Structure, cfg *Config, net *simnet.Network, isB
 			}
 		}
 		for k := 0; k < nsn; k++ {
-			for tgt, rows := range targets[k] {
+			// Emit edges in sorted target order: successor order steers
+			// the DES tie-breaks, and map order would leak Go's map
+			// randomization into the simulated schedule.
+			tgts := make([]int32, 0, len(targets[k]))
+			for tgt := range targets[k] {
+				tgts = append(tgts, tgt)
+			}
+			sort.Slice(tgts, func(i, j int) bool { return tgts[i] < tgts[j] })
+			for _, tgt := range tgts {
 				tasks[tgt].indeg++
 				tasks[k].succ = append(tasks[k].succ,
-					edge{to: tgt, bytes: rows * 8, path: simnet.PathTwoSided})
+					edge{to: tgt, bytes: targets[k][tgt] * 8, path: simnet.PathTwoSided})
 			}
 		}
 	}

@@ -1,0 +1,63 @@
+// Package analysis is a self-contained reimplementation of the public API
+// surface of golang.org/x/tools/go/analysis that the sympacklint suite
+// needs. The build environment vendors no third-party modules (the repo is
+// stdlib-only by policy, see DESIGN.md §2), so rather than depending on
+// x/tools this package provides the same Analyzer/Pass/Diagnostic contract
+// on top of go/ast and go/types. Analyzers written against it follow the
+// upstream conventions — a Run function receiving a type-checked package
+// and reporting position-anchored diagnostics — and could be ported to the
+// real framework by changing only the import path.
+//
+// The deliberate subset: no Facts (none of the suite's invariants need
+// cross-package state), no Requires graph (the four analyzers are
+// independent), and no SSA. Suppression via "//lint:ignore" comments is
+// handled by the runner, not by individual analyzers (see suppress.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one static check. Name is the identifier used in
+// diagnostics and in //lint:ignore directives; Doc is the human
+// description printed by `sympacklint help`.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// Run applies the analyzer to a single type-checked package and
+	// reports findings through pass.Report. The interface{} result and
+	// error mirror the upstream signature; the suite's analyzers return
+	// (nil, nil) and communicate only through diagnostics.
+	Run func(pass *Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass presents one package to one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers a diagnostic. The runner installs it; analyzers
+	// should prefer Reportf.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled in by the runner
+}

@@ -1,0 +1,18 @@
+package analysis
+
+import "go/ast"
+
+// Preorder walks every file in the pass in depth-first preorder, calling fn
+// for each node. It is the moral equivalent of the upstream inspect pass's
+// Preorder, without the node-type filter (the suite's packages are small
+// enough that a full walk costs nothing measurable).
+func (p *Pass) Preorder(fn func(ast.Node)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil {
+				fn(n)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression implements the audited escape hatch:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The directive silences matching diagnostics reported on its own line or
+// on the line immediately below it (covering both trailing comments and the
+// conventional comment-above-the-statement placement). The reason is
+// mandatory: an //lint:ignore with no reason is itself reported, under the
+// pseudo-analyzer name "lint", so a suppression can never silently lose its
+// justification. The analyzer list may be the wildcard "*" only in
+// testdata; production code must name the check it overrides.
+
+type ignoreDirective struct {
+	line      int
+	analyzers []string
+}
+
+const ignorePrefix = "//lint:ignore "
+
+// collectIgnores scans all comments of all files for lint:ignore
+// directives. Malformed directives (missing analyzer list or reason) are
+// returned as diagnostics.
+func collectIgnores(fset *token.FileSet, files []*ast.File) (byFile map[string][]ignoreDirective, malformed []Diagnostic) {
+	byFile = map[string][]ignoreDirective{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer> <reason>\"",
+						Analyzer: "lint",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byFile[pos.Filename] = append(byFile[pos.Filename], ignoreDirective{
+					line:      pos.Line,
+					analyzers: strings.Split(fields[0], ","),
+				})
+			}
+		}
+	}
+	return byFile, malformed
+}
+
+func (d ignoreDirective) matches(analyzer string, line int) bool {
+	if line != d.line && line != d.line+1 {
+		return false
+	}
+	for _, a := range d.analyzers {
+		if a == analyzer || a == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplySuppressions filters diags through the files' lint:ignore
+// directives and appends a diagnostic for every malformed directive.
+func ApplySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	ignores, malformed := collectIgnores(fset, files)
+	var kept []Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		suppressed := false
+		for _, dir := range ignores[pos.Filename] {
+			if dir.matches(d.Analyzer, pos.Line) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return append(kept, malformed...)
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const suppressSrc = `package p
+
+func a() {
+	//lint:ignore check1 audited: reason recorded here
+	use()       // line 5: suppressed for check1 only
+	use()       // line 6: out of the directive's reach
+}
+
+func b() {
+	use() //lint:ignore check1,check2 trailing same-line form
+}
+
+//lint:ignore check1
+func c() { use() }
+
+func use() {}
+`
+
+func TestApplySuppressions(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := fset.File(f.Pos())
+	at := func(line int, analyzer string) Diagnostic {
+		return Diagnostic{Pos: file.LineStart(line), Message: "finding", Analyzer: analyzer}
+	}
+
+	got := ApplySuppressions(fset, []*ast.File{f}, []Diagnostic{
+		at(5, "check1"),  // next-line suppression
+		at(5, "check2"),  // same line, different analyzer: kept
+		at(6, "check1"),  // beyond the one-line reach: kept
+		at(10, "check1"), // trailing same-line, first of the list
+		at(10, "check2"), // trailing same-line, second of the list
+	})
+
+	var kept, malformed []Diagnostic
+	for _, d := range got {
+		if d.Analyzer == "lint" {
+			malformed = append(malformed, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	if len(kept) != 2 {
+		t.Fatalf("kept %d diagnostics, want 2: %+v", len(kept), kept)
+	}
+	for i, want := range []struct {
+		line     int
+		analyzer string
+	}{{5, "check2"}, {6, "check1"}} {
+		pos := fset.Position(kept[i].Pos)
+		if pos.Line != want.line || kept[i].Analyzer != want.analyzer {
+			t.Errorf("kept[%d] = %s at line %d, want %s at line %d",
+				i, kept[i].Analyzer, pos.Line, want.analyzer, want.line)
+		}
+	}
+	// The reason-less directive above func c must surface as its own
+	// "lint" diagnostic so justifications can never silently vanish.
+	if len(malformed) != 1 {
+		t.Fatalf("malformed directives reported %d times, want 1: %+v", len(malformed), malformed)
+	}
+	if !strings.Contains(malformed[0].Message, "lint:ignore") {
+		t.Errorf("malformed message = %q", malformed[0].Message)
+	}
+}

@@ -1,0 +1,12 @@
+package atomicconsistency_test
+
+import (
+	"testing"
+
+	"sympack/internal/lint/analysistest"
+	"sympack/internal/lint/atomicconsistency"
+)
+
+func TestAtomicConsistency(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicconsistency.Analyzer, "a")
+}

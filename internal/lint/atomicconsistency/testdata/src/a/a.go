@@ -1,0 +1,53 @@
+// Testdata for the atomicconsistency analyzer: fields and package vars
+// that mix sync/atomic access with plain loads/stores are flagged; typed
+// atomics and all-atomic or never-atomic fields are fine.
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	done  int64        // accessed atomically AND plainly: every plain use flagged
+	typed atomic.Int64 // typed atomic: immune by construction
+	local int64        // never atomic: plain access is fine
+}
+
+func (c *counters) inc() { atomic.AddInt64(&c.done, 1) }
+
+func (c *counters) read() int64 {
+	return c.done // want "done is accessed with sync/atomic"
+}
+
+func (c *counters) reset() {
+	c.done = 0 // want "done is accessed with sync/atomic"
+}
+
+func (c *counters) atomicRead() int64 { return atomic.LoadInt64(&c.done) }
+
+func (c *counters) typedOK() int64 { return c.typed.Load() }
+
+func (c *counters) localOK() int64 {
+	c.local++
+	return c.local
+}
+
+var ops uint32
+
+func bump() { atomic.AddUint32(&ops, 1) }
+
+func peek() uint32 {
+	return ops // want "ops is accessed with sync/atomic"
+}
+
+// Composite-literal keys construct a fresh value; not an access.
+func literal() counters {
+	return counters{done: 0}
+}
+
+// Audited escape hatch: a construction-time store before the value is
+// shared with any other goroutine.
+func fresh() *counters {
+	c := new(counters)
+	//lint:ignore atomicconsistency construction-time store; c is not yet shared
+	c.done = -1
+	return c
+}

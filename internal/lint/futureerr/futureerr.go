@@ -1,0 +1,123 @@
+// Package futureerr flags upcxx future chains whose result is discarded.
+// Since the fault-injection work (PR 1, DESIGN.md §8), every
+// communication future carries the completion state of its operation: a
+// transfer whose retry budget ran out returns a Future with Err() wrapping
+// faults.ErrTransient, and the paper's §3.4 signal/poll protocol is only
+// resilient because consumers observe that state and re-request. A call
+// like
+//
+//	r.Rget(src, dst)          // Future discarded
+//	f.Then(func() { ... })    // chained Future discarded
+//	_ = r.Copy(src, dst)      // explicitly discarded
+//
+// silently drops a possible transient-fault error, resurrecting the
+// lost-completion bugs the fan-out/fan-both literature warns about
+// (Jacquelin et al., arXiv:1608.00044). The analyzer reports any
+// expression of type upcxx.Future that is discarded: used as a bare
+// statement, assigned to the blank identifier, or launched via go/defer.
+// Binding the future to a variable satisfies the check — the suite trusts
+// a named future to be inspected (Err/OK/Wait), which keeps the rule
+// syntactic and false-positive-poor.
+package futureerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sympack/internal/lint/analysis"
+)
+
+// futurePath/futureName identify the runtime's error-carrying future type.
+const (
+	futurePath = "sympack/internal/upcxx"
+	futureName = "Future"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "futureerr",
+	Doc: "flags discarded upcxx.Future results, which would silently drop a " +
+		"transient-fault error from the signal/poll protocol",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	pass.Preorder(func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && returnsFuture(pass, call) {
+				pass.Reportf(n.Pos(),
+					"result of %s is discarded; a failed future's error would be dropped — "+
+						"bind it and check Err/OK (or propagate it)", callName(call))
+			}
+		case *ast.GoStmt:
+			if returnsFuture(pass, n.Call) {
+				pass.Reportf(n.Pos(),
+					"go statement discards the %s future; its error can never be observed",
+					callName(n.Call))
+			}
+		case *ast.DeferStmt:
+			if returnsFuture(pass, n.Call) {
+				pass.Reportf(n.Pos(),
+					"defer discards the %s future; its error can never be observed",
+					callName(n.Call))
+			}
+		case *ast.AssignStmt:
+			// _ = expr discarding a future is as lossy as a bare call.
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name != "_" || i >= len(n.Rhs) {
+					continue
+				}
+				if len(n.Lhs) != len(n.Rhs) {
+					continue // multi-value unpacking; future-typed results handled above
+				}
+				if tv, ok := pass.TypesInfo.Types[n.Rhs[i]]; ok && isFuture(tv.Type) {
+					pass.Reportf(lhs.Pos(),
+						"upcxx.Future assigned to the blank identifier; its error is dropped — "+
+							"bind it and check Err/OK")
+				}
+			}
+		}
+	})
+	return nil, nil
+}
+
+func returnsFuture(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isFuture(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isFuture(tv.Type)
+}
+
+func isFuture(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == futurePath && obj.Name() == futureName
+}
+
+// callName renders the callee for diagnostics (r.Rget, f.Then, ...).
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return "call"
+}

@@ -1,0 +1,12 @@
+package futureerr_test
+
+import (
+	"testing"
+
+	"sympack/internal/lint/analysistest"
+	"sympack/internal/lint/futureerr"
+)
+
+func TestFutureErr(t *testing.T) {
+	analysistest.Run(t, "testdata", futureerr.Analyzer, "app")
+}

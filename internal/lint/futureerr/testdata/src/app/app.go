@@ -1,0 +1,32 @@
+// Testdata for the futureerr analyzer: discarded upcxx.Future results are
+// flagged wherever they occur; bound-and-checked futures are not.
+package app
+
+import "sympack/internal/upcxx"
+
+func discarded(r *upcxx.Rank, buf []float64) {
+	r.Rget(buf) // want "result of r.Rget is discarded"
+	f := r.Rput(buf)
+	f.Then(func() {}) // want "result of f.Then is discarded"
+	_ = r.Copy()      // want "blank identifier"
+	go r.Rput(buf)    // want "go statement discards the r.Rput future"
+	defer r.Rget(buf) // want "defer discards the r.Rget future"
+	_ = f.Err()
+}
+
+func checked(r *upcxx.Rank, buf []float64) error {
+	f := r.Rget(buf)
+	if !f.OK() {
+		return f.Err()
+	}
+	g := r.Rput(buf).Then(func() {})
+	_ = g.Wait() // Wait returns modeled seconds (float64), not a Future
+	return g.Err()
+}
+
+// Audited escape hatch: deliberate fire-and-forget, with the recovery
+// story written down.
+func audited(r *upcxx.Rank, buf []float64) {
+	//lint:ignore futureerr prefetch hint only; consumer re-requests on loss
+	r.Rput(buf)
+}

@@ -1,0 +1,151 @@
+// Package lint assembles the sympacklint analyzer suite and runs it over
+// type-checked packages. The suite mechanically enforces the solver's
+// headline invariants — deterministic schedules, atomic-only shared
+// counters, never-dropped future errors, virtualized wall clocks — that
+// PRs 1–2 established by hand (see DESIGN.md §10 for the mapping from each
+// analyzer to the paper invariant it guards).
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"sympack/internal/lint/analysis"
+	"sympack/internal/lint/atomicconsistency"
+	"sympack/internal/lint/futureerr"
+	"sympack/internal/lint/load"
+	"sympack/internal/lint/mapiterdeterminism"
+	"sympack/internal/lint/wallclock"
+)
+
+// Analyzers returns the full suite, in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomicconsistency.Analyzer,
+		futureerr.Analyzer,
+		mapiterdeterminism.Analyzer,
+		wallclock.Analyzer,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunPackage applies the analyzers to one package, honors //lint:ignore
+// suppressions, and returns diagnostics in deterministic position order.
+func RunPackage(p *load.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      p.Fset,
+			Files:     p.Files,
+			Pkg:       p.Types,
+			TypesInfo: p.Info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			d.Analyzer = name
+			diags = append(diags, d)
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	diags = analysis.ApplySuppressions(p.Fset, p.Files, diags)
+	sortDiagnostics(p.Fset, diags)
+	return diags, nil
+}
+
+// RunModule loads every buildable package under modRoot and applies the
+// analyzers to each. It returns all surviving diagnostics plus the file
+// set for rendering positions.
+func RunModule(modRoot string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, error) {
+	loader, err := load.NewModuleLoader(modRoot)
+	if err != nil {
+		return nil, nil, err
+	}
+	paths, dirs, err := load.ModulePackages(modRoot)
+	if err != nil {
+		return nil, nil, err
+	}
+	var all []analysis.Diagnostic
+	for i, path := range paths {
+		p, err := loader.LoadDir(path, dirs[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		ds, err := RunPackage(p, analyzers)
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, ds...)
+	}
+	sortDiagnostics(loader.Fset, all)
+	return all, loader.Fset, nil
+}
+
+// RunDirs lints only the packages in the given directories (which must
+// lie inside the module rooted at modRoot).
+func RunDirs(modRoot string, dirs []string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, error) {
+	loader, err := load.NewModuleLoader(modRoot)
+	if err != nil {
+		return nil, nil, err
+	}
+	modPath, err := load.ModulePath(modRoot)
+	if err != nil {
+		return nil, nil, err
+	}
+	var all []analysis.Diagnostic
+	for _, dir := range dirs {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		rel, err := filepath.Rel(modRoot, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, nil, fmt.Errorf("lint: %s is outside module %s", dir, modRoot)
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		p, err := loader.LoadDir(ip, abs)
+		if err != nil {
+			return nil, nil, err
+		}
+		ds, err := RunPackage(p, analyzers)
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, ds...)
+	}
+	sortDiagnostics(loader.Fset, all)
+	return all, loader.Fset, nil
+}
+
+func sortDiagnostics(fset *token.FileSet, diags []analysis.Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

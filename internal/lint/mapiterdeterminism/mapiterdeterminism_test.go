@@ -1,0 +1,15 @@
+package mapiterdeterminism_test
+
+import (
+	"testing"
+
+	"sympack/internal/lint/analysistest"
+	"sympack/internal/lint/mapiterdeterminism"
+)
+
+func TestMapIterDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", mapiterdeterminism.Analyzer,
+		"sympack/internal/core",   // in the deterministic set: positives + idioms
+		"sympack/internal/matrix", // outside the set: must stay silent
+	)
+}

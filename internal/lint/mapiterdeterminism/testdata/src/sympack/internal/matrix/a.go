@@ -1,0 +1,12 @@
+// Package matrix is outside the deterministic set, so map iteration here
+// is not the analyzer's business (I/O and assembly layers re-sort their
+// outputs explicitly).
+package matrix
+
+func histogram(entries map[int]float64) float64 {
+	total := 0.0
+	for _, v := range entries {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,92 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sympack/internal/lint"
+)
+
+// moduleRoot walks up from the test's working directory to the enclosing
+// go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestSuiteCleanOnRepo is the dogfooding gate: the full analyzer suite
+// must exit clean over this repository (every true positive fixed, every
+// audited false positive suppressed with a reason). It is the test-shaped
+// twin of `go run ./cmd/sympacklint ./...` exiting 0.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	diags, fset, err := lint.RunModule(moduleRoot(t), lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: [%s] %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}
+
+// TestSeededViolationTrips pins the acceptance criterion that the lint
+// gate actually fails when a violation is introduced: a raw time.Now() in
+// a package named internal/core must produce exactly one wallclock
+// diagnostic.
+func TestSeededViolationTrips(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module sympack\n\ngo 1.22\n")
+	write("internal/core/bad.go", `package core
+
+import "time"
+
+// A schedule decision derived from the host clock: the exact violation
+// the wallclock analyzer exists to stop.
+var epoch = time.Now()
+`)
+	diags, _, err := lint.RunModule(root, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1: %+v", len(diags), diags)
+	}
+	if diags[0].Analyzer != "wallclock" {
+		t.Errorf("diagnostic analyzer = %q, want wallclock", diags[0].Analyzer)
+	}
+}
+
+// TestByName covers the driver's analyzer registry.
+func TestByName(t *testing.T) {
+	for _, name := range []string{"atomicconsistency", "futureerr", "mapiterdeterminism", "wallclock"} {
+		if a := lint.ByName(name); a == nil || a.Name != name {
+			t.Errorf("ByName(%q) = %v", name, a)
+		}
+	}
+	if a := lint.ByName("nope"); a != nil {
+		t.Errorf("ByName(nope) = %v, want nil", a)
+	}
+}

@@ -1,0 +1,8 @@
+// Package ordering is outside the wallclock set (fill-reducing orderings
+// run once, before the deterministic replay region), so host-clock use
+// here is not flagged.
+package ordering
+
+import "time"
+
+func stamp() time.Time { return time.Now() }

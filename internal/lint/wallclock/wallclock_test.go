@@ -1,0 +1,15 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"sympack/internal/lint/analysistest"
+	"sympack/internal/lint/wallclock"
+)
+
+func TestWallClock(t *testing.T) {
+	analysistest.Run(t, "testdata", wallclock.Analyzer,
+		"sympack/internal/core",     // deterministic: positives, idioms, suppression
+		"sympack/internal/ordering", // outside the set: silent
+	)
+}

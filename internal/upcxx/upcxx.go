@@ -24,7 +24,6 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"sympack/internal/faults"
 	"sympack/internal/gpu"
@@ -401,7 +400,7 @@ func (r *Rank) Progress() int {
 	if w := r.rt.cfg.Faults.StallWindow(r.ID); w > 0 {
 		r.rt.Stats.Stalls.Add(1)
 		r.rt.traceFault(int32(r.ID), "fault:rank-stall", w.String())
-		time.Sleep(w)
+		machine.Backoff(w)
 		r.Charge(w.Seconds())
 	}
 	r.qmu.Lock()
