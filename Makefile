@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint
+.PHONY: all build test race vet lint lint-json
 
 all: build test lint
 
@@ -23,7 +23,15 @@ vet:
 	$(GO) vet ./...
 
 # lint is vet plus the custom sympacklint suite (determinism, atomicity,
-# future-error, and wall-clock invariants; see DESIGN.md §10). sympacklint
-# exits 2 on any unsuppressed finding.
+# future-error, lockset/guarded-by, suppression-audit, and wall-clock
+# invariants; see DESIGN.md §10). sympacklint exits 2 on any unsuppressed
+# finding.
 lint: vet
 	$(GO) run ./cmd/sympacklint ./...
+
+# lint-json emits the machine-readable report (one JSON object per line:
+# file, line, analyzer, message, suppressed — audited suppressions
+# included) to lint-report.jsonl. Same exit-code contract as lint.
+lint-json:
+	$(GO) run ./cmd/sympacklint -json ./... > lint-report.jsonl
+	@echo "wrote lint-report.jsonl"

@@ -16,6 +16,7 @@ package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -33,6 +34,8 @@ func main() {
 }
 
 func run(args []string) int {
+	jsonOut := false
+	var rest []string
 	for _, a := range args {
 		switch {
 		case strings.HasPrefix(a, "-V"):
@@ -40,26 +43,53 @@ func run(args []string) int {
 			return 0
 		case a == "-flags":
 			// The vet driver asks which extra flags the tool accepts;
-			// the suite is configuration-free.
+			// the suite is configuration-free beyond the output mode.
 			fmt.Println("[]")
 			return 0
 		case a == "help" || a == "-h" || a == "-help" || a == "--help":
 			usage()
 			return 0
+		case a == "-json" || a == "--json":
+			jsonOut = true
+		default:
+			rest = append(rest, a)
 		}
 	}
-	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		return runVet(args[0])
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVet(rest[0], jsonOut)
 	}
-	return runStandalone(args)
+	return runStandalone(rest, jsonOut)
 }
 
 func usage() {
-	fmt.Printf("usage: sympacklint [package pattern ...]   (default ./...)\n\nanalyzers:\n")
+	fmt.Printf("usage: sympacklint [-json] [package pattern ...]   (default ./...)\n\nanalyzers:\n")
 	for _, a := range lint.Analyzers() {
 		fmt.Printf("  %-20s %s\n", a.Name, a.Doc)
 	}
 	fmt.Printf("\nsuppress an audited finding with: //lint:ignore <analyzer> <reason>\n")
+	fmt.Printf("-json emits one diagnostic per line (file, line, analyzer, message,\nsuppressed) including audited suppressions; the exit code still counts\nonly unsuppressed findings\n")
+}
+
+// jsonDiagnostic is the -json wire format: one object per line, stable
+// field set, so CI can archive and diff lint reports mechanically.
+type jsonDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+func printJSON(w io.Writer, fset *token.FileSet, d analysis.Diagnostic) {
+	pos := fset.Position(d.Pos)
+	out, _ := json.Marshal(jsonDiagnostic{
+		File:       pos.Filename,
+		Line:       pos.Line,
+		Analyzer:   d.Analyzer,
+		Message:    d.Message,
+		Suppressed: d.Suppressed,
+	})
+	fmt.Fprintf(w, "%s\n", out)
 }
 
 // printVersion implements the `-V=full` handshake cmd/go uses to build a
@@ -77,7 +107,7 @@ func printVersion() {
 	fmt.Printf("%s version devel buildID=%x\n", name, h.Sum(nil)[:16])
 }
 
-func runStandalone(patterns []string) int {
+func runStandalone(patterns []string, jsonOut bool) int {
 	wd, err := os.Getwd()
 	if err != nil {
 		return fail(err)
@@ -109,12 +139,20 @@ func runStandalone(patterns []string) int {
 	if err != nil {
 		return fail(err)
 	}
+	findings := 0
 	for _, d := range diags {
-		pos := fset.Position(d.Pos)
-		fmt.Printf("%s: [%s] %s\n", relTo(wd, pos), d.Analyzer, d.Message)
+		if jsonOut {
+			printJSON(os.Stdout, fset, d)
+		} else if !d.Suppressed {
+			pos := fset.Position(d.Pos)
+			fmt.Printf("%s: [%s] %s\n", relTo(wd, pos), d.Analyzer, d.Message)
+		}
+		if !d.Suppressed {
+			findings++
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "sympacklint: %d finding(s)\n", len(diags))
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "sympacklint: %d finding(s)\n", findings)
 		return 2
 	}
 	return 0

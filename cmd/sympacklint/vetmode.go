@@ -3,11 +3,20 @@ package main
 // Vet-tool mode: cmd/go's unitchecker protocol. `go vet
 // -vettool=sympacklint ./...` invokes the tool once per package with a
 // single JSON .cfg argument describing the unit of work: source files,
-// the import map, and the export-data files the build system already
-// produced for every dependency. The tool type-checks the unit against
-// that export data (no re-compilation of dependencies), runs the suite,
-// writes the (empty — the suite is fact-free) .vetx facts file the driver
-// expects, and exits 2 on findings so the build fails.
+// the import map, the export-data files the build system already produced
+// for every dependency, and the .vetx fact files earlier units of this
+// tool wrote for those dependencies. The tool type-checks the unit
+// against that export data (no re-compilation of dependencies), seeds the
+// fact store from the dependency vetx payloads, runs the suite, writes
+// this unit's facts to VetxOutput, and exits 2 on findings so the build
+// fails.
+//
+// Fact-only units (VetxOnly, which cmd/go schedules for dependencies of
+// the requested packages) are analyzed when they are sympack-local — the
+// diagnostics are discarded, only the exported facts matter — and skipped
+// with an empty-but-decodable payload otherwise: futureerr's analyzed
+// marker is then absent, so importing units stay conservative about the
+// package, which is sound.
 
 import (
 	"encoding/json"
@@ -23,6 +32,7 @@ import (
 	"strings"
 
 	"sympack/internal/lint"
+	"sympack/internal/lint/analysis"
 	"sympack/internal/lint/load"
 )
 
@@ -45,7 +55,13 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
-func runVet(cfgFile string) int {
+// sympackLocal reports whether an import path belongs to this module, the
+// only world our analyzers export facts about.
+func sympackLocal(path string) bool {
+	return path == "sympack" || strings.HasPrefix(path, "sympack/")
+}
+
+func runVet(cfgFile string, jsonOut bool) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		return fail(err)
@@ -54,20 +70,32 @@ func runVet(cfgFile string) int {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return fail(fmt.Errorf("parsing %s: %w", cfgFile, err))
 	}
-	writeVetx := func() {
-		if cfg.VetxOutput != "" {
-			_ = os.WriteFile(cfg.VetxOutput, []byte("sympacklint\n"), 0o666)
+	analyzers := lint.Analyzers()
+	store := analysis.NewFactStore(analyzers)
+	writeVetx := func(pkg *types.Package) int {
+		if cfg.VetxOutput == "" {
+			return 0
 		}
+		payload, err := store.EncodeVetx(pkg)
+		if err != nil {
+			return fail(err)
+		}
+		if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 
 	// The suite's invariants are runtime properties of the solver, not of
 	// its tests (tests may use wall clocks and unordered maps freely), so
 	// test files and synthesized test-main units are skipped. Standalone
-	// mode makes the same cut via go/build's non-test file list.
-	if cfg.VetxOnly || strings.HasSuffix(cfg.ImportPath, ".test") ||
-		strings.HasSuffix(cfg.ImportPath, "_test") {
-		writeVetx()
-		return 0
+	// mode makes the same cut via go/build's non-test file list. Non-local
+	// fact-only units are skipped too: no facts, conservative importers.
+	factOnly := cfg.VetxOnly
+	if strings.HasSuffix(cfg.ImportPath, ".test") ||
+		strings.HasSuffix(cfg.ImportPath, "_test") ||
+		(factOnly && !sympackLocal(cfg.ImportPath)) {
+		return writeVetx(nil)
 	}
 	var goFiles []string
 	for _, f := range cfg.GoFiles {
@@ -76,8 +104,7 @@ func runVet(cfgFile string) int {
 		}
 	}
 	if len(goFiles) == 0 {
-		writeVetx()
-		return 0
+		return writeVetx(nil)
 	}
 
 	fset := token.NewFileSet()
@@ -119,25 +146,45 @@ func runVet(cfgFile string) int {
 	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			writeVetx()
-			return 0
+			return writeVetx(nil)
 		}
 		return fail(err)
+	}
+
+	// Seed the store with the dependency facts cmd/go threaded to us.
+	// Payloads decode lazily, on the first fact import touching a package.
+	for path, file := range cfg.PackageVetx {
+		if payload, err := os.ReadFile(file); err == nil {
+			store.AddVetx(path, payload)
+		}
 	}
 
 	p := &load.Package{
 		Path: cfg.ImportPath, Dir: cfg.Dir,
 		Fset: fset, Files: files, Types: tpkg, Info: info,
 	}
-	diags, err := lint.RunPackage(p, lint.Analyzers())
+	diags, err := lint.RunPackageFacts(p, analyzers, store)
 	if err != nil {
 		return fail(err)
 	}
-	writeVetx()
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	if rc := writeVetx(tpkg); rc != 0 {
+		return rc
 	}
-	if len(diags) > 0 {
+	if factOnly {
+		return 0 // dependency unit: facts are the product, findings are not
+	}
+	findings := 0
+	for _, d := range diags {
+		if jsonOut {
+			printJSON(os.Stdout, fset, d)
+		} else if !d.Suppressed {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+		if !d.Suppressed {
+			findings++
+		}
+	}
+	if findings > 0 {
 		return 2
 	}
 	return 0

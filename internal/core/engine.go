@@ -64,9 +64,11 @@ type parkedUpd struct {
 // A worker whose update finishes out of turn parks the scratch buffer here;
 // the worker that completes the preceding update drains the parked queue.
 type blockApply struct {
-	mu     sync.Mutex
-	next   int32 // canonical sequence number of the next update to apply
-	parked map[int32]parkedUpd
+	mu sync.Mutex
+	// next is the canonical sequence number of the next update to apply;
+	// guarded by bs.mu.
+	next   int32
+	parked map[int32]parkedUpd // guarded by bs.mu
 }
 
 // engine is the per-rank state of the fan-out factorization.
@@ -100,21 +102,23 @@ type engine struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	workers int
-	stopped bool // set on completion or abort; workers exit
+	stopped bool // set on completion or abort; workers exit; guarded by e.mu
 	// inflight counts tasks popped but not yet completed, so the progress
 	// goroutine can tell "workers busy" from "rank starved" when deciding
-	// to suspect lost announcements.
+	// to suspect lost announcements. Guarded by e.mu.
 	inflight int
-	pushSeq  int64
+	pushSeq  int64 // guarded by e.mu
 
 	owned [][]float64 // per block id: storage for blocks this rank owns
 
 	// Dependency counters for tasks this rank owns, indexed by block id
-	// and update index respectively.
+	// and update index respectively. Guarded by e.mu.
 	depBlock  []int32
-	depUpdate []int32
+	depUpdate []int32 // guarded by e.mu
 
 	// avail caches source-block data this rank can consume, by block id.
+	// Guarded by e.mu; entries are write-once, which is what licenses the
+	// two audited unlocked reads in hostOf and gpuTrsm.
 	avail []*fetched
 
 	// updatesByLocalSource maps a source block id to the local update
@@ -134,36 +138,38 @@ type engine struct {
 	blk      []blockApply
 
 	// signals received but not yet processed: block ids announced by
-	// producers via RPC.
+	// producers via RPC. Guarded by e.mu.
 	inbox []int32
 
-	rtq readyQueue
+	rtq readyQueue // guarded by e.mu
 	// progress counts executed tasks for the stall watchdog (shared
 	// across ranks; may be nil in tests constructing engines directly).
 	progress *atomic.Int64
 	// chainDepth[k] = number of supernodal-tree ancestors above supernode
 	// k, the critical-path priority (longer remaining chains run first).
+	// Guarded by e.mu.
 	chainDepth []int32
 
-	totalTasks int
-	doneTasks  int
+	totalTasks int // guarded by e.mu
+	doneTasks  int // guarded by e.mu
 
 	// Resilience state (lost-signal recovery, paper Fig. 4 hardened).
 	// produced[bid] is set by this rank once it has factored and announced
 	// block bid; writers are executor workers and the reader is the
 	// re-request RPC handler on the progress goroutine, so both sides go
-	// through mu.
+	// through mu. Guarded by e.mu.
 	produced []bool
 	// wanted holds source block ids this rank's remaining tasks still
 	// await; entries leave on acquire. Its remote members are the
-	// candidates for re-requests when the rank idles.
+	// candidates for re-requests when the rank idles. Guarded by e.mu.
 	wanted map[int32]bool
 	// reqAt / reqCount implement per-block exponential backoff between
 	// re-requests; reqAt holds the earliest next attempt in wall-clock
 	// nanoseconds (ticks proved useless as a clock: the idle loop's short
 	// sleeps stretch to OS-timer granularity, freezing tick-based timers).
+	// Guarded by e.mu.
 	reqAt    map[int32]int64
-	reqCount map[int32]int
+	reqCount map[int32]int // guarded by e.mu
 
 	// demoted is set when this rank's device dies mid-run: every later
 	// offload decision answers CPU. Any worker may demote; all consult it.
@@ -216,6 +222,10 @@ func (e *engine) mine(b *symbolic.Block) bool { return symbolic.OwnerOfBlock(e.m
 // pointers, and initializes all dependency counters and queues.
 func (e *engine) setup() {
 	st, tg := e.st, e.tg
+	// The pool has not started yet, so this is single-threaded — but take
+	// e.mu anyway: "scheduler state is touched under e.mu, always" is a
+	// checkable invariant, "except during setup" is not.
+	e.mu.Lock()
 	if e.opt.Scheduling == SchedCriticalPath {
 		e.chainDepth = chainDepths(st)
 	}
@@ -270,6 +280,7 @@ func (e *engine) setup() {
 		e.totalTasks++
 	}
 	e.hTotal.Store(int32(e.totalTasks))
+	e.mu.Unlock()
 	e.assemble()
 }
 
@@ -325,8 +336,8 @@ func (e *engine) rowPosInBlock(b *symbolic.Block, r int32) int {
 }
 
 // push enqueues a task whose dependencies are satisfied and wakes one idle
-// worker. Callers hold e.mu (setup runs single-threaded before the pool
-// starts, so its pushes are safe unlocked).
+// worker. Callers hold e.mu (including setup, which runs single-threaded
+// but locks anyway to keep the guarded-field discipline uniform).
 func (e *engine) push(kind taskKind, id int32) {
 	t := task{kind: kind, id: id, seq: e.pushSeq}
 	e.pushSeq++
@@ -604,6 +615,7 @@ func (e *engine) acquire(bid int32) {
 // the device mirror when the block was fetched device-direct. Concurrent
 // workers consuming the same block race to materialize; once serializes.
 func (e *engine) hostOf(bid int32) []float64 {
+	//lint:ignore mutexguard avail entries are write-once under e.mu; the pop that scheduled this task happens-after acquire published the entry (see acquire's doc)
 	fc := e.avail[bid]
 	fc.once.Do(func() {
 		if fc.host == nil {
@@ -956,6 +968,7 @@ func (e *engine) gpuTrsm(m, n int, diagID int32, data []float64) {
 	d := e.r.Device()
 	// Reuse a device-resident diagonal when the fetch already placed it
 	// there (GPU-blocks optimization); otherwise stage it now.
+	//lint:ignore mutexguard avail entries are write-once under e.mu; the pop that scheduled this TRSM happens-after acquire published the diagonal
 	fc := e.avail[diagID]
 	var diagBuf *gpu.Buffer
 	ownDiag := false

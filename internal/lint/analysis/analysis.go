@@ -8,10 +8,13 @@
 // and reporting position-anchored diagnostics — and could be ported to the
 // real framework by changing only the import path.
 //
-// The deliberate subset: no Facts (none of the suite's invariants need
-// cross-package state), no Requires graph (the four analyzers are
-// independent), and no SSA. Suppression via "//lint:ignore" comments is
-// handled by the runner, not by individual analyzers (see suppress.go).
+// The deliberate subset: no Requires graph (the analyzers are
+// independent) and no SSA. Facts — exportable per-object/per-package
+// state serialized between passes, which the flow-sensitive futureerr
+// analyzer uses to chase futures through sympack-local wrappers
+// cross-package — follow the upstream contract (see facts.go).
+// Suppression via "//lint:ignore" comments is handled by the runner, not
+// by individual analyzers (see suppress.go).
 package analysis
 
 import (
@@ -33,6 +36,10 @@ type Analyzer struct {
 	// error mirror the upstream signature; the suite's analyzers return
 	// (nil, nil) and communicate only through diagnostics.
 	Run func(pass *Pass) (interface{}, error)
+
+	// FactTypes declares the concrete fact types this analyzer exports
+	// or imports (see facts.go). Exporting an undeclared type panics.
+	FactTypes []Fact
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -48,6 +55,16 @@ type Pass struct {
 	// Report delivers a diagnostic. The runner installs it; analyzers
 	// should prefer Reportf.
 	Report func(Diagnostic)
+
+	// Fact accessors, installed by the runner from its FactStore
+	// (FactStore.Bind). Object facts attach to exported objects and
+	// travel to passes over importing packages; package facts attach to
+	// the package as a whole. Import functions copy the stored value
+	// into the argument and report whether a fact was found.
+	ExportObjectFact  func(obj types.Object, fact Fact)
+	ImportObjectFact  func(obj types.Object, fact Fact) bool
+	ExportPackageFact func(fact Fact)
+	ImportPackageFact func(pkg *types.Package, fact Fact) bool
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -60,4 +77,22 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string // filled in by the runner
+
+	// Suppressed marks a finding silenced by an audited //lint:ignore
+	// directive. The audit keeps suppressed findings in the stream (the
+	// -json report shows them; the exit code ignores them) so a
+	// suppression is always visible, never a silent deletion.
+	Suppressed bool
+}
+
+// Unsuppressed filters a diagnostic stream down to the findings that
+// gate the build.
+func Unsuppressed(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
 }

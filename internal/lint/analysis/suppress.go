@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"regexp"
 	"strings"
 )
 
@@ -12,31 +13,54 @@ import (
 //
 // The directive silences matching diagnostics reported on its own line or
 // on the line immediately below it (covering both trailing comments and the
-// conventional comment-above-the-statement placement). The reason is
+// conventional comment-above-the-statement placement); a directive
+// separated from the code by a blank line suppresses nothing. The reason is
 // mandatory: an //lint:ignore with no reason is itself reported, under the
 // pseudo-analyzer name "lint", so a suppression can never silently lose its
 // justification. The analyzer list may be the wildcard "*" only in
 // testdata; production code must name the check it overrides.
+//
+// The audit keeps the whole suppression table: Audit marks suppressed
+// diagnostics instead of deleting them, and — when the unusedignore
+// analyzer is in the run — reports every directive that suppressed
+// nothing, staticcheck-style, so stale escape hatches cannot linger after
+// the finding they once justified is gone.
 
 type ignoreDirective struct {
+	pos       token.Pos
 	line      int
 	analyzers []string
+	used      bool
 }
 
-const ignorePrefix = "//lint:ignore "
+// directiveRe tolerates leading tabs and runs of spaces between the
+// comment marker and the directive keyword ("//  lint:ignore", "//\t..."),
+// which gofmt-preserved alignment can introduce.
+var directiveRe = regexp.MustCompile(`^//[ \t]*lint:ignore([ \t]+(.*))?$`)
+
+// parseIgnore extracts a lint:ignore directive from one comment, if
+// present. ok reports whether the comment is a directive at all; a
+// directive with a missing analyzer list or reason yields rest == "".
+func parseIgnore(text string) (rest string, ok bool) {
+	m := directiveRe.FindStringSubmatch(text)
+	if m == nil {
+		return "", false
+	}
+	return strings.TrimSpace(m[2]), true
+}
 
 // collectIgnores scans all comments of all files for lint:ignore
 // directives. Malformed directives (missing analyzer list or reason) are
 // returned as diagnostics.
-func collectIgnores(fset *token.FileSet, files []*ast.File) (byFile map[string][]ignoreDirective, malformed []Diagnostic) {
-	byFile = map[string][]ignoreDirective{}
+func collectIgnores(fset *token.FileSet, files []*ast.File) (byFile map[string][]*ignoreDirective, malformed []Diagnostic) {
+	byFile = map[string][]*ignoreDirective{}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, ignorePrefix) {
+				rest, ok := parseIgnore(c.Text)
+				if !ok {
 					continue
 				}
-				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
 				fields := strings.Fields(rest)
 				if len(fields) < 2 {
 					malformed = append(malformed, Diagnostic{
@@ -47,7 +71,8 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) (byFile map[string][
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				byFile[pos.Filename] = append(byFile[pos.Filename], ignoreDirective{
+				byFile[pos.Filename] = append(byFile[pos.Filename], &ignoreDirective{
+					pos:       c.Pos(),
 					line:      pos.Line,
 					analyzers: strings.Split(fields[0], ","),
 				})
@@ -57,7 +82,7 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) (byFile map[string][
 	return byFile, malformed
 }
 
-func (d ignoreDirective) matches(analyzer string, line int) bool {
+func (d *ignoreDirective) matches(analyzer string, line int) bool {
 	if line != d.line && line != d.line+1 {
 		return false
 	}
@@ -69,23 +94,71 @@ func (d ignoreDirective) matches(analyzer string, line int) bool {
 	return false
 }
 
-// ApplySuppressions filters diags through the files' lint:ignore
-// directives and appends a diagnostic for every malformed directive.
-func ApplySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+// Audit applies the files' lint:ignore directives to diags: matching
+// diagnostics are marked Suppressed (not removed), every malformed
+// directive is appended as a "lint" finding, and — when auditUnused is
+// set — every directive that suppressed nothing is appended as an
+// "unusedignore" finding. ran lists the analyzers that actually executed:
+// a directive is only judged unused when every analyzer it names ran (or
+// it is the wildcard), since a directive for an analyzer outside the run
+// may be doing its job invisibly.
+func Audit(fset *token.FileSet, files []*ast.File, diags []Diagnostic, ran []string, auditUnused bool) []Diagnostic {
 	ignores, malformed := collectIgnores(fset, files)
-	var kept []Diagnostic
+	out := make([]Diagnostic, 0, len(diags)+len(malformed))
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
-		suppressed := false
 		for _, dir := range ignores[pos.Filename] {
 			if dir.matches(d.Analyzer, pos.Line) {
-				suppressed = true
+				d.Suppressed = true
+				dir.used = true
 				break
 			}
 		}
-		if !suppressed {
+		out = append(out, d)
+	}
+	out = append(out, malformed...)
+	if auditUnused {
+		ranSet := map[string]bool{"*": true}
+		for _, name := range ran {
+			ranSet[name] = true
+		}
+		for _, dirs := range ignores {
+			for _, dir := range dirs {
+				if dir.used {
+					continue
+				}
+				judgeable := true
+				for _, a := range dir.analyzers {
+					if !ranSet[a] {
+						judgeable = false
+						break
+					}
+				}
+				if !judgeable {
+					continue
+				}
+				out = append(out, Diagnostic{
+					Pos: dir.pos,
+					Message: "//lint:ignore " + strings.Join(dir.analyzers, ",") +
+						" suppresses no diagnostic; remove the stale directive",
+					Analyzer: "unusedignore",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ApplySuppressions filters diags through the files' lint:ignore
+// directives and appends a diagnostic for every malformed directive. It is
+// the pre-audit interface, kept for callers that only need the surviving
+// findings.
+func ApplySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	var kept []Diagnostic
+	for _, d := range Audit(fset, files, diags, nil, false) {
+		if !d.Suppressed {
 			kept = append(kept, d)
 		}
 	}
-	return append(kept, malformed...)
+	return kept
 }

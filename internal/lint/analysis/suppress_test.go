@@ -26,6 +26,24 @@ func c() { use() }
 func use() {}
 `
 
+const suppressEdgeSrc = `package p
+
+func a() {
+	//	lint:ignore check1 tab-indented directive body still parses
+	use()       // line 5: suppressed
+	//   lint:ignore check1 run-of-spaces form also parses
+	use()       // line 7: suppressed
+}
+
+func b() {
+	//lint:ignore check1 separated from the code by a blank line
+
+	use() // line 13: NOT suppressed (non-adjacent)
+}
+
+func use() {}
+`
+
 func TestApplySuppressions(t *testing.T) {
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
@@ -73,5 +91,89 @@ func TestApplySuppressions(t *testing.T) {
 	}
 	if !strings.Contains(malformed[0].Message, "lint:ignore") {
 		t.Errorf("malformed message = %q", malformed[0].Message)
+	}
+}
+
+// TestSuppressionWhitespaceAndAdjacency pins two directive-matching rules:
+// leading tabs or runs of spaces between "//" and "lint:ignore" must not
+// defeat the directive, and a directive separated from the code by a blank
+// line must not suppress it.
+func TestSuppressionWhitespaceAndAdjacency(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "edge.go", suppressEdgeSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := fset.File(f.Pos())
+	at := func(line int) Diagnostic {
+		return Diagnostic{Pos: file.LineStart(line), Message: "finding", Analyzer: "check1"}
+	}
+	got := ApplySuppressions(fset, []*ast.File{f}, []Diagnostic{
+		at(5),  // under a tab-indented directive: suppressed
+		at(7),  // under a space-indented directive: suppressed
+		at(13), // blank line between directive and code: kept
+	})
+	if len(got) != 1 {
+		t.Fatalf("kept %d diagnostics, want 1 (the non-adjacent line): %+v", len(got), got)
+	}
+	if pos := fset.Position(got[0].Pos); pos.Line != 13 {
+		t.Errorf("kept diagnostic at line %d, want 13", pos.Line)
+	}
+}
+
+// TestAuditUnusedDirectives covers the unusedignore audit: a directive
+// that suppresses nothing is reported, one that matched is not, and a
+// directive naming an analyzer outside the run is left unjudged.
+func TestAuditUnusedDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := fset.File(f.Pos())
+	// Only a check1 finding on line 5: the directive on line 4 is used,
+	// the check1,check2 directive on line 10 and the malformed one stay
+	// unused; check2 did not run, so the line-10 directive is unjudged.
+	got := Audit(fset, []*ast.File{f}, []Diagnostic{
+		{Pos: file.LineStart(5), Message: "finding", Analyzer: "check1"},
+	}, []string{"check1"}, true)
+	var unused []Diagnostic
+	for _, d := range got {
+		if d.Analyzer == "unusedignore" {
+			unused = append(unused, d)
+		}
+	}
+	if len(unused) != 0 {
+		t.Fatalf("unused directives with partial run = %d, want 0 (check2 did not run): %+v", len(unused), unused)
+	}
+	// With both analyzers in the run, the line-10 directive is judgeable
+	// and unused.
+	got = Audit(fset, []*ast.File{f}, []Diagnostic{
+		{Pos: file.LineStart(5), Message: "finding", Analyzer: "check1"},
+	}, []string{"check1", "check2"}, true)
+	unused = nil
+	for _, d := range got {
+		if d.Analyzer == "unusedignore" {
+			unused = append(unused, d)
+		}
+	}
+	if len(unused) != 1 {
+		t.Fatalf("unused directives = %d, want 1: %+v", len(unused), unused)
+	}
+	if pos := fset.Position(unused[0].Pos); pos.Line != 10 {
+		t.Errorf("unused directive reported at line %d, want 10", pos.Line)
+	}
+	if !strings.Contains(unused[0].Message, "suppresses no diagnostic") {
+		t.Errorf("unused message = %q", unused[0].Message)
+	}
+	// The suppressed finding must survive in the stream, marked.
+	var suppressed int
+	for _, d := range got {
+		if d.Suppressed {
+			suppressed++
+		}
+	}
+	if suppressed != 1 {
+		t.Errorf("suppressed-but-kept findings = %d, want 1", suppressed)
 	}
 }

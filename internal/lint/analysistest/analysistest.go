@@ -1,8 +1,8 @@
-// Package analysistest runs an analyzer over a testdata source tree and
-// checks its diagnostics against `// want "regexp"` annotations, following
-// the conventions of golang.org/x/tools/go/analysis/analysistest (which
-// the stdlib-only build cannot vendor). A want comment asserts that the
-// analyzer reports on its line with a message matching each quoted
+// Package analysistest runs analyzers over a testdata source tree and
+// checks their diagnostics against `// want "regexp"` annotations,
+// following the conventions of golang.org/x/tools/go/analysis/analysistest
+// (which the stdlib-only build cannot vendor). A want comment asserts that
+// an analyzer reports on its line with a message matching each quoted
 // regular expression; lines without a want must stay silent. Suppression
 // directives (//lint:ignore) are honored exactly as in the production
 // runner, so testdata can pin the escape hatch's behavior too.
@@ -11,6 +11,11 @@
 // GOPATH-style, so testdata packages can use the real import paths the
 // analyzers gate on ("sympack/internal/core") against small fake
 // dependencies ("sympack/internal/upcxx").
+//
+// RunSuite runs several analyzers together over packages analyzed in the
+// order given, sharing one fact store — list a dependency before its
+// importer and cross-package facts flow exactly as in the module runner.
+// The unusedignore audit is active when that analyzer is in the suite.
 package analysistest
 
 import (
@@ -30,8 +35,16 @@ import (
 // reporting mismatches through t.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
 	t.Helper()
+	RunSuite(t, testdata, []*analysis.Analyzer{a}, importPaths...)
+}
+
+// RunSuite applies a set of analyzers to each import path in order, with
+// facts shared across packages and analyzers.
+func RunSuite(t *testing.T, testdata string, analyzers []*analysis.Analyzer, importPaths ...string) {
+	t.Helper()
 	srcRoot := filepath.Join(testdata, "src")
 	loader := load.NewTreeLoader(srcRoot)
+	store := analysis.NewFactStore(analyzers)
 	for _, path := range importPaths {
 		dir := filepath.Join(srcRoot, filepath.FromSlash(path))
 		pkg, err := loader.LoadDir(path, dir)
@@ -39,29 +52,41 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...str
 			t.Errorf("loading %s: %v", path, err)
 			continue
 		}
-		diags := runOne(t, a, pkg)
+		diags := runSuite(t, analyzers, pkg, store)
 		check(t, pkg, diags)
 	}
 }
 
-func runOne(t *testing.T, a *analysis.Analyzer, pkg *load.Package) []analysis.Diagnostic {
+func runSuite(t *testing.T, analyzers []*analysis.Analyzer, pkg *load.Package, store *analysis.FactStore) []analysis.Diagnostic {
 	t.Helper()
 	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      pkg.Fset,
-		Files:     pkg.Files,
-		Pkg:       pkg.Types,
-		TypesInfo: pkg.Info,
+	ran := make([]string, 0, len(analyzers))
+	auditUnused := false
+	for _, a := range analyzers {
+		ran = append(ran, a.Name)
+		if a.Name == "unusedignore" {
+			auditUnused = true
+		}
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		store.Bind(pass)
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			d.Analyzer = name
+			diags = append(diags, d)
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+		}
 	}
-	pass.Report = func(d analysis.Diagnostic) {
-		d.Analyzer = a.Name
-		diags = append(diags, d)
-	}
-	if _, err := a.Run(pass); err != nil {
-		t.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
-	}
-	return analysis.ApplySuppressions(pkg.Fset, pkg.Files, diags)
+	// Suppressed findings are invisible to want annotations, exactly as
+	// they are invisible to the production exit code.
+	return analysis.Unsuppressed(analysis.Audit(pkg.Fset, pkg.Files, diags, ran, auditUnused))
 }
 
 // expectation is one unmatched want regexp at a file:line.

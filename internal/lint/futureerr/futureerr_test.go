@@ -3,10 +3,14 @@ package futureerr_test
 import (
 	"testing"
 
+	"sympack/internal/lint/analysis"
 	"sympack/internal/lint/analysistest"
 	"sympack/internal/lint/futureerr"
 )
 
+// Packages are listed dependency-first so wrap's consumption facts are in
+// the store by the time app's call sites are judged.
 func TestFutureErr(t *testing.T) {
-	analysistest.Run(t, "testdata", futureerr.Analyzer, "app")
+	analysistest.RunSuite(t, "testdata", []*analysis.Analyzer{futureerr.Analyzer},
+		"sympack/internal/upcxx", "wrap", "app")
 }

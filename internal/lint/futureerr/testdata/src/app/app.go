@@ -1,8 +1,13 @@
 // Testdata for the futureerr analyzer: discarded upcxx.Future results are
-// flagged wherever they occur; bound-and-checked futures are not.
+// flagged wherever they occur; bound futures must have their Err/OK
+// consulted on some use, possibly through a wrapper the consumption facts
+// know about.
 package app
 
-import "sympack/internal/upcxx"
+import (
+	"sympack/internal/upcxx"
+	"wrap"
+)
 
 func discarded(r *upcxx.Rank, buf []float64) {
 	r.Rget(buf) // want "result of r.Rget is discarded"
@@ -29,4 +34,47 @@ func checked(r *upcxx.Rank, buf []float64) error {
 func audited(r *upcxx.Rank, buf []float64) {
 	//lint:ignore futureerr prefetch hint only; consumer re-requests on loss
 	r.Rput(buf)
+}
+
+// Bound futures whose only uses are blind: reported at the binding.
+func bound(r *upcxx.Rank, buf []float64) {
+	f := r.Rget(buf) // want "bound to f but its Err/OK result is never consulted"
+	_ = f.Wait()
+
+	var g upcxx.Future // want "bound to g"
+	g = r.Rput(buf)
+	_ = g.Seconds()
+}
+
+type holder struct{ fut upcxx.Future }
+
+// Escapes hand responsibility on: not this function's problem anymore.
+func escapes(r *upcxx.Rank, buf []float64, ch chan upcxx.Future) upcxx.Future {
+	a := r.Rget(buf)
+	ch <- a
+	b := r.Rget(buf)
+	_ = holder{fut: b}
+	c := r.Rget(buf)
+	return c
+}
+
+// localSwallow ignores its future; call sites know via the intra-package
+// fixpoint.
+func localSwallow(f upcxx.Future) { _ = f.Wait() }
+
+func localWrap(r *upcxx.Rank, buf []float64) {
+	d := r.Rget(buf) // want "bound to d"
+	localSwallow(d)
+}
+
+// Cross-package wrappers, judged by imported consumption facts.
+func crosspkg(r *upcxx.Rank, buf []float64) error {
+	a := r.Rget(buf)
+	b := r.Rget(buf) // want "bound to b"
+	wrap.Swallow(b)
+	c := r.Rget(buf)
+	if err := wrap.Forward(c); err != nil {
+		return err
+	}
+	return wrap.Check(a)
 }

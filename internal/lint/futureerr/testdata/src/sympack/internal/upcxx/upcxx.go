@@ -9,6 +9,7 @@ type Future struct {
 }
 
 func (f Future) Wait() float64         { return f.seconds }
+func (f Future) Seconds() float64      { return f.seconds }
 func (f Future) Err() error            { return f.err }
 func (f Future) OK() bool              { return f.err == nil }
 func (f Future) Then(fn func()) Future { return f }

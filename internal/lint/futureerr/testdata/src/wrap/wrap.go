@@ -1,0 +1,15 @@
+// Package wrap holds sympack-local future helpers for the cross-package
+// fact tests: the analyzer must learn which parameters each function
+// consults and judge call sites in importing packages accordingly.
+package wrap
+
+import "sympack/internal/upcxx"
+
+// Check consults the future's error.
+func Check(f upcxx.Future) error { return f.Err() }
+
+// Swallow provably ignores the future's completion state.
+func Swallow(f upcxx.Future) { _ = f.Wait() }
+
+// Forward consults transitively, through Check.
+func Forward(f upcxx.Future) error { return Check(f) }

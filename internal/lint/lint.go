@@ -1,14 +1,21 @@
 // Package lint assembles the sympacklint analyzer suite and runs it over
 // type-checked packages. The suite mechanically enforces the solver's
 // headline invariants — deterministic schedules, atomic-only shared
-// counters, never-dropped future errors, virtualized wall clocks — that
-// PRs 1–2 established by hand (see DESIGN.md §10 for the mapping from each
+// counters, never-dropped future errors, virtualized wall clocks,
+// mutex-guarded scheduler state, and live suppressions — that PRs 1–2
+// established by hand (see DESIGN.md §10 for the mapping from each
 // analyzer to the paper invariant it guards).
+//
+// Packages are analyzed in dependency order against one shared
+// analysis.FactStore, so facts exported by a pass over an imported
+// package (e.g. futureerr's consumption facts) are visible to passes
+// over its importers.
 package lint
 
 import (
 	"fmt"
 	"go/token"
+	"go/types"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -18,6 +25,8 @@ import (
 	"sympack/internal/lint/futureerr"
 	"sympack/internal/lint/load"
 	"sympack/internal/lint/mapiterdeterminism"
+	"sympack/internal/lint/mutexguard"
+	"sympack/internal/lint/unusedignore"
 	"sympack/internal/lint/wallclock"
 )
 
@@ -27,6 +36,8 @@ func Analyzers() []*analysis.Analyzer {
 		atomicconsistency.Analyzer,
 		futureerr.Analyzer,
 		mapiterdeterminism.Analyzer,
+		mutexguard.Analyzer,
+		unusedignore.Analyzer,
 		wallclock.Analyzer,
 	}
 }
@@ -41,11 +52,27 @@ func ByName(name string) *analysis.Analyzer {
 	return nil
 }
 
-// RunPackage applies the analyzers to one package, honors //lint:ignore
-// suppressions, and returns diagnostics in deterministic position order.
+// RunPackage applies the analyzers to one package with a private fact
+// store (no cross-package facts), honors //lint:ignore suppressions, and
+// returns diagnostics — suppressed ones marked, not removed — in
+// deterministic position order. Single-package drivers (vet mode seeds
+// its store from vetx files first) use RunPackageFacts directly.
 func RunPackage(p *load.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	return RunPackageFacts(p, analyzers, analysis.NewFactStore(analyzers))
+}
+
+// RunPackageFacts is RunPackage against a caller-owned fact store, which
+// both receives this package's exported facts and answers imports from
+// previously analyzed (or vetx-decoded) dependencies.
+func RunPackageFacts(p *load.Package, analyzers []*analysis.Analyzer, store *analysis.FactStore) ([]analysis.Diagnostic, error) {
 	var diags []analysis.Diagnostic
+	ran := make([]string, 0, len(analyzers))
+	auditUnused := false
 	for _, a := range analyzers {
+		ran = append(ran, a.Name)
+		if a.Name == unusedignore.Name {
+			auditUnused = true
+		}
 		pass := &analysis.Pass{
 			Analyzer:  a,
 			Fset:      p.Fset,
@@ -53,6 +80,7 @@ func RunPackage(p *load.Package, analyzers []*analysis.Analyzer) ([]analysis.Dia
 			Pkg:       p.Types,
 			TypesInfo: p.Info,
 		}
+		store.Bind(pass)
 		name := a.Name
 		pass.Report = func(d analysis.Diagnostic) {
 			d.Analyzer = name
@@ -62,14 +90,15 @@ func RunPackage(p *load.Package, analyzers []*analysis.Analyzer) ([]analysis.Dia
 			return nil, err
 		}
 	}
-	diags = analysis.ApplySuppressions(p.Fset, p.Files, diags)
+	diags = analysis.Audit(p.Fset, p.Files, diags, ran, auditUnused)
 	sortDiagnostics(p.Fset, diags)
 	return diags, nil
 }
 
 // RunModule loads every buildable package under modRoot and applies the
-// analyzers to each. It returns all surviving diagnostics plus the file
-// set for rendering positions.
+// analyzers to each, in dependency order so facts flow from imported
+// packages to their importers. It returns all diagnostics (suppressed
+// ones marked) plus the file set for rendering positions.
 func RunModule(modRoot string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, error) {
 	loader, err := load.NewModuleLoader(modRoot)
 	if err != nil {
@@ -79,13 +108,18 @@ func RunModule(modRoot string, analyzers []*analysis.Analyzer) ([]analysis.Diagn
 	if err != nil {
 		return nil, nil, err
 	}
-	var all []analysis.Diagnostic
+	pkgs := make([]*load.Package, 0, len(paths))
 	for i, path := range paths {
 		p, err := loader.LoadDir(path, dirs[i])
 		if err != nil {
 			return nil, nil, err
 		}
-		ds, err := RunPackage(p, analyzers)
+		pkgs = append(pkgs, p)
+	}
+	store := analysis.NewFactStore(analyzers)
+	var all []analysis.Diagnostic
+	for _, p := range dependencyOrder(pkgs) {
+		ds, err := RunPackageFacts(p, analyzers, store)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -95,8 +129,40 @@ func RunModule(modRoot string, analyzers []*analysis.Analyzer) ([]analysis.Diagn
 	return all, loader.Fset, nil
 }
 
+// dependencyOrder sorts packages so every package follows its in-set
+// imports (imports cannot cycle, so the DFS terminates). The input is
+// already path-sorted, which makes the output deterministic.
+func dependencyOrder(pkgs []*load.Package) []*load.Package {
+	byTypes := make(map[*types.Package]*load.Package, len(pkgs))
+	for _, p := range pkgs {
+		byTypes[p.Types] = p
+	}
+	seen := map[*load.Package]bool{}
+	out := make([]*load.Package, 0, len(pkgs))
+	var visit func(p *load.Package)
+	visit = func(p *load.Package) {
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := byTypes[imp]; ok {
+				visit(dep)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
+}
+
 // RunDirs lints only the packages in the given directories (which must
-// lie inside the module rooted at modRoot).
+// lie inside the module rooted at modRoot). Dependencies outside the
+// listed set are type-checked but not analyzed, so cross-package facts
+// are absent and fact-dependent analyzers fall back to their conservative
+// (quieter) behavior; the whole-module RunModule has no such gap.
 func RunDirs(modRoot string, dirs []string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, error) {
 	loader, err := load.NewModuleLoader(modRoot)
 	if err != nil {
@@ -106,7 +172,7 @@ func RunDirs(modRoot string, dirs []string, analyzers []*analysis.Analyzer) ([]a
 	if err != nil {
 		return nil, nil, err
 	}
-	var all []analysis.Diagnostic
+	pkgs := make([]*load.Package, 0, len(dirs))
 	for _, dir := range dirs {
 		abs, err := filepath.Abs(dir)
 		if err != nil {
@@ -124,7 +190,12 @@ func RunDirs(modRoot string, dirs []string, analyzers []*analysis.Analyzer) ([]a
 		if err != nil {
 			return nil, nil, err
 		}
-		ds, err := RunPackage(p, analyzers)
+		pkgs = append(pkgs, p)
+	}
+	store := analysis.NewFactStore(analyzers)
+	var all []analysis.Diagnostic
+	for _, p := range dependencyOrder(pkgs) {
+		ds, err := RunPackageFacts(p, analyzers, store)
 		if err != nil {
 			return nil, nil, err
 		}

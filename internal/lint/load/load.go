@@ -161,7 +161,9 @@ func (l *Loader) loadDir(path, dir string) (*Package, error) {
 	for _, name := range names {
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			// The scanner's error already carries file:line:col; prefix
+			// the package so multi-package runs say which unit died.
+			return nil, fmt.Errorf("load %s: %w", path, err)
 		}
 		files = append(files, f)
 	}

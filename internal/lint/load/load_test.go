@@ -1,0 +1,120 @@
+package load_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"os"
+
+	"sympack/internal/lint/load"
+)
+
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// A syntax error must surface as an error naming the package and the
+// file, not as a panic or a bare scanner message.
+func TestLoadDirSyntaxError(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"p/bad.go": "package p\n\nfunc broken( {\n",
+	})
+	loader := load.NewTreeLoader(root)
+	_, err := loader.LoadDir("p", filepath.Join(root, "p"))
+	if err == nil {
+		t.Fatal("LoadDir on a syntax-error file: got nil error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "load p") || !strings.Contains(msg, "bad.go") {
+		t.Errorf("error %q should name the package (load p) and the file (bad.go)", msg)
+	}
+}
+
+// An empty directory is "no buildable Go files", attributed to the
+// import path.
+func TestLoadDirEmpty(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"p/README.txt": "not a Go file\n",
+	})
+	loader := load.NewTreeLoader(root)
+	_, err := loader.LoadDir("p", filepath.Join(root, "p"))
+	if err == nil {
+		t.Fatal("LoadDir on an empty package dir: got nil error")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "load p") {
+		t.Errorf("error %q should be attributed to the package path", msg)
+	}
+}
+
+// Build-tagged files outside the active configuration are excluded by
+// go/build, so a file that would not even type-check must not poison the
+// load; a package whose files are all excluded errors cleanly.
+func TestLoadDirBuildTags(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"p/ok.go": "package p\n\nfunc A() int { return 1 }\n",
+		"p/tagged.go": "//go:build sympack_never_enabled\n\npackage p\n\n" +
+			"func B() { undefinedSymbol() }\n",
+		"q/only_tagged.go": "//go:build sympack_never_enabled\n\npackage q\n\nfunc C() {}\n",
+	})
+	loader := load.NewTreeLoader(root)
+	p, err := loader.LoadDir("p", filepath.Join(root, "p"))
+	if err != nil {
+		t.Fatalf("LoadDir with an excluded tagged file: %v", err)
+	}
+	if len(p.Files) != 1 {
+		t.Errorf("loaded %d files, want 1 (tagged.go excluded)", len(p.Files))
+	}
+	if _, err := loader.LoadDir("q", filepath.Join(root, "q")); err == nil {
+		t.Error("LoadDir on an all-excluded package: got nil error")
+	} else if !strings.Contains(err.Error(), "load q") {
+		t.Errorf("error %q should be attributed to the package path", err)
+	}
+}
+
+// A module loader over a directory with no go.mod fails up front.
+func TestModuleLoaderMissingGoMod(t *testing.T) {
+	if _, err := load.NewModuleLoader(t.TempDir()); err == nil {
+		t.Error("NewModuleLoader without go.mod: got nil error")
+	}
+}
+
+// ModulePackages skips testdata and hidden trees, and the walk order is
+// deterministic.
+func TestModulePackagesSkipsTestdata(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":                "module example.com/m\n\ngo 1.22\n",
+		"a/a.go":                "package a\n",
+		"b/b.go":                "package b\n",
+		"b/testdata/src/x/x.go": "package x\n",
+		".hidden/h.go":          "package h\n",
+		"_underscore/u.go":      "package u\n",
+		"a/vendor/v/v.go":       "package v\n",
+		"c/README.md":           "no go files\n",
+		"b/inner/deep.go":       "package inner\n",
+	})
+	paths, dirs, err := load.ModulePackages(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"example.com/m/a", "example.com/m/b", "example.com/m/b/inner"}
+	if len(paths) != len(want) {
+		t.Fatalf("paths = %v, want %v (dirs %v)", paths, want, dirs)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Errorf("paths[%d] = %q, want %q", i, paths[i], want[i])
+		}
+	}
+}

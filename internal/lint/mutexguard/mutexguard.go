@@ -1,0 +1,451 @@
+// Package mutexguard enforces `// guarded by <recv>.<mu>` field
+// annotations with a lightweight lockset walk. The engine's scheduler
+// state (dependency counters, ready queue, retry bookkeeping) is a
+// classic fan-out hazard: it is mutated from worker goroutines, the
+// progress goroutine, and remote-signal callbacks, and the paper's
+// bit-identical-factors claim (§3.2) only holds if every such mutation
+// happens under the engine mutex. PR 2 established the discipline in
+// prose; this analyzer makes the prose checkable.
+//
+// A struct field carrying a doc or trailing comment of the form
+//
+//	queue []task // guarded by e.mu
+//
+// declares that every access to the field must happen while the same
+// instance's named mutex (here: the struct's own `mu` field) is held.
+// The walk is syntactic and source-ordered, not a heap analysis — it
+// tracks, per function body, the set of (base variable, mutex field)
+// pairs locked via base.mu.Lock()/RLock() and not yet released, and
+// reports any guarded-field access through a base variable whose pair is
+// absent. Three escape valves keep it false-positive-poor:
+//
+//   - A function documented "callers hold <name>.<mu>" (doc comment or a
+//     comment before the first statement) starts with that pair seeded,
+//     matching the repo's existing convention for internal helpers.
+//   - A variable bound to a fresh composite literal (e := &engine{...})
+//     is unshared until published; its guarded fields may be initialized
+//     without the lock, as constructors do.
+//   - defer base.mu.Unlock() does not release: the pair stays held for
+//     the remainder of the body, which is exactly the deferred-unlock
+//     idiom's semantics.
+//
+// Function literals are walked with an empty lockset (a closure may run
+// long after the enclosing critical section ends — precisely the worker
+// goroutine bug this exists to catch), except a deferred literal, which
+// runs at return and inherits the current set. Branch bodies get a copy
+// of the lockset, so the common `mu.Lock(); if bad { mu.Unlock(); return }`
+// early-exit shape does not poison the fallthrough path.
+//
+// An annotation naming a mutex field the struct does not have is itself
+// reported: a typo'd guard is a guard that never fires.
+package mutexguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"sympack/internal/lint/analysis"
+)
+
+// Name is the analyzer's registry name.
+const Name = "mutexguard"
+
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc: "checks that fields annotated `guarded by <recv>.<mu>` are only " +
+		"accessed while the instance's mutex is provably held (lockset walk " +
+		"with callers-hold seeding and fresh-object exemption)",
+	Run: run,
+}
+
+var (
+	guardRe = regexp.MustCompile(`(?i)guarded\s+by\s+(\w+)\.(\w+)`)
+	holdRe  = regexp.MustCompile(`(?i)callers?\s+holds?\s+(\w+)\.(\w+)`)
+)
+
+// lockKey is one provably-held mutex: the base variable it is reached
+// through and the mutex field's name. Keying on the variable's object
+// (not its name) keeps aliases distinct.
+type lockKey struct {
+	obj   types.Object
+	field string
+}
+
+type lockset map[lockKey]bool
+
+func (ls lockset) clone() lockset {
+	out := make(lockset, len(ls))
+	for k := range ls {
+		out[k] = true
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	w := &walker{
+		pass:   pass,
+		guards: map[*types.Var]string{},
+		fresh:  map[types.Object]bool{},
+	}
+	w.collectGuards()
+	if len(w.guards) == 0 {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w.fresh = map[types.Object]bool{}
+			ls := w.seed(fd, f)
+			w.stmts(fd.Body.List, ls)
+		}
+	}
+	return nil, nil
+}
+
+type walker struct {
+	pass   *analysis.Pass
+	guards map[*types.Var]string // annotated field -> mutex field name
+	fresh  map[types.Object]bool // locals bound to fresh composite literals
+}
+
+// collectGuards reads the annotations off struct fields, validating that
+// the named mutex is a sibling field.
+func (w *walker) collectGuards() {
+	for _, f := range w.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			names := map[string]bool{}
+			for _, fld := range st.Fields.List {
+				for _, nm := range fld.Names {
+					names[nm.Name] = true
+				}
+			}
+			for _, fld := range st.Fields.List {
+				mu := guardAnnotation(fld)
+				if mu == "" {
+					continue
+				}
+				if !names[mu] {
+					w.pass.Reportf(fld.Pos(),
+						"guarded-by annotation names unknown mutex %q; the guard can never be checked", mu)
+					continue
+				}
+				for _, nm := range fld.Names {
+					if v, ok := w.pass.TypesInfo.Defs[nm].(*types.Var); ok && v != nil {
+						w.guards[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func guardAnnotation(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[2]
+		}
+	}
+	return ""
+}
+
+// seed builds the entry lockset from "callers hold x.mu" claims in the
+// function's doc comment or in comments before its first statement.
+func (w *walker) seed(fd *ast.FuncDecl, file *ast.File) lockset {
+	scope := map[string]types.Object{}
+	addNames := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, nm := range f.Names {
+				if obj := w.pass.TypesInfo.Defs[nm]; obj != nil {
+					scope[nm.Name] = obj
+				}
+			}
+		}
+	}
+	addNames(fd.Recv)
+	addNames(fd.Type.Params)
+
+	ls := lockset{}
+	seedFrom := func(text string) {
+		for _, m := range holdRe.FindAllStringSubmatch(text, -1) {
+			if obj, ok := scope[m[1]]; ok {
+				ls[lockKey{obj, m[2]}] = true
+			}
+		}
+	}
+	if fd.Doc != nil {
+		seedFrom(fd.Doc.Text())
+	}
+	limit := fd.Body.Rbrace
+	if len(fd.Body.List) > 0 {
+		limit = fd.Body.List[0].Pos()
+	}
+	for _, cg := range file.Comments {
+		if cg.Pos() > fd.Body.Lbrace && cg.End() < limit {
+			seedFrom(cg.Text())
+		}
+	}
+	return ls
+}
+
+// stmts walks a statement list, mutating ls in source order.
+func (w *walker) stmts(list []ast.Stmt, ls lockset) {
+	for _, s := range list {
+		w.stmt(s, ls)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, ls lockset) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if k, locks, ok := w.lockOp(call); ok {
+				if locks {
+					ls[k] = true
+				} else {
+					delete(ls, k)
+				}
+				return
+			}
+		}
+		w.expr(s.X, ls)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.expr(r, ls)
+		}
+		for _, l := range s.Lhs {
+			w.expr(l, ls)
+		}
+		if s.Tok == token.DEFINE {
+			w.markFresh(s)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, ls)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, ls)
+		}
+		w.expr(s.Cond, ls)
+		w.stmts(s.Body.List, ls.clone())
+		if s.Else != nil {
+			w.stmt(s.Else, ls.clone())
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List, ls)
+	case *ast.ForStmt:
+		inner := ls.clone()
+		if s.Init != nil {
+			w.stmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, inner)
+		}
+		w.stmts(s.Body.List, inner)
+		if s.Post != nil {
+			w.stmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X, ls)
+		w.stmts(s.Body.List, ls.clone())
+	case *ast.SwitchStmt:
+		inner := ls.clone()
+		if s.Init != nil {
+			w.stmt(s.Init, inner)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, inner)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.expr(e, inner)
+			}
+			w.stmts(cc.Body, inner.clone())
+		}
+	case *ast.TypeSwitchStmt:
+		inner := ls.clone()
+		if s.Init != nil {
+			w.stmt(s.Init, inner)
+		}
+		w.stmt(s.Assign, inner)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			w.stmts(cc.Body, inner.clone())
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			inner := ls.clone()
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, inner)
+			}
+			w.stmts(cc.Body, inner)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r, ls)
+		}
+	case *ast.DeferStmt:
+		// defer x.mu.Unlock() releases at return; the lock stays held
+		// for the remainder of the body.
+		if _, locks, ok := w.lockOp(s.Call); ok && !locks {
+			return
+		}
+		for _, a := range s.Call.Args {
+			w.expr(a, ls)
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			// Runs at return, when the current critical section (if
+			// still open) is typically the one it cleans up.
+			w.stmts(fl.Body.List, ls.clone())
+		} else {
+			w.expr(s.Call.Fun, ls)
+		}
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			w.expr(a, ls)
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.stmts(fl.Body.List, lockset{})
+		} else {
+			w.expr(s.Call.Fun, ls)
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan, ls)
+		w.expr(s.Value, ls)
+	case *ast.IncDecStmt:
+		w.expr(s.X, ls)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, ls)
+	}
+}
+
+// expr checks every guarded-field access inside e against ls. Function
+// literals are concurrency boundaries: their bodies start with nothing
+// held.
+func (w *walker) expr(e ast.Expr, ls lockset) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.stmts(n.Body.List, lockset{})
+			return false
+		case *ast.SelectorExpr:
+			w.checkAccess(n, ls)
+		}
+		return true
+	})
+}
+
+func (w *walker) checkAccess(sel *ast.SelectorExpr, ls lockset) {
+	fieldVar, ok := w.pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok {
+		return
+	}
+	mu, ok := w.guards[fieldVar]
+	if !ok {
+		return
+	}
+	base, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return // multi-step path; the lock instance cannot be named
+	}
+	obj := w.pass.TypesInfo.Uses[base]
+	if obj == nil || w.fresh[obj] || ls[lockKey{obj, mu}] {
+		return
+	}
+	w.pass.Reportf(sel.Pos(),
+		"%s.%s is guarded by %s.%s but the mutex is not held here — lock it, "+
+			"or document the invariant with a 'callers hold %s.%s' comment",
+		base.Name, sel.Sel.Name, base.Name, mu, base.Name, mu)
+}
+
+// lockOp recognizes base.mu.Lock/RLock/Unlock/RUnlock() on a sync mutex
+// field, returning the lockset key and whether the op acquires.
+func (w *walker) lockOp(call *ast.CallExpr) (lockKey, bool, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, false, false
+	}
+	var locks bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locks = true
+	case "Unlock", "RUnlock":
+		locks = false
+	default:
+		return lockKey{}, false, false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, false, false
+	}
+	base, ok := ast.Unparen(inner.X).(*ast.Ident)
+	if !ok {
+		return lockKey{}, false, false
+	}
+	obj := w.pass.TypesInfo.Uses[base]
+	if obj == nil || !isSyncLock(w.pass.TypesInfo.Types[inner.X], w.pass, inner) {
+		return lockKey{}, false, false
+	}
+	return lockKey{obj, inner.Sel.Name}, locks, true
+}
+
+// isSyncLock reports whether the selected mutex field has a sync lock
+// type, so an unrelated Lock() method cannot alias into the lockset.
+func isSyncLock(_ types.TypeAndValue, pass *analysis.Pass, inner *ast.SelectorExpr) bool {
+	v, ok := pass.TypesInfo.Uses[inner.Sel].(*types.Var)
+	if !ok {
+		return false
+	}
+	named, ok := v.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// markFresh records variables bound to fresh composite literals: until
+// published they are unshared and their guarded fields are free.
+func (w *walker) markFresh(s *ast.AssignStmt) {
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || i >= len(s.Rhs) {
+			continue
+		}
+		rhs := ast.Unparen(s.Rhs[i])
+		if ue, ok := rhs.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+			rhs = ast.Unparen(ue.X)
+		}
+		if _, ok := rhs.(*ast.CompositeLit); !ok {
+			continue
+		}
+		if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
+			w.fresh[obj] = true
+		}
+	}
+}

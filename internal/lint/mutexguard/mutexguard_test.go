@@ -1,0 +1,12 @@
+package mutexguard_test
+
+import (
+	"testing"
+
+	"sympack/internal/lint/analysistest"
+	"sympack/internal/lint/mutexguard"
+)
+
+func TestMutexGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", mutexguard.Analyzer, "a")
+}

@@ -1,0 +1,97 @@
+package a
+
+import "sync"
+
+type eng struct {
+	mu    sync.Mutex
+	queue []int // guarded by e.mu
+	n     int   // guarded by e.mu
+	done  bool
+}
+
+func (e *eng) locked() {
+	e.mu.Lock()
+	e.queue = append(e.queue, 1)
+	e.mu.Unlock()
+}
+
+func (e *eng) deferred() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}
+
+func (e *eng) bare() {
+	e.queue = nil // want "guarded by e.mu"
+	e.done = true // unguarded field: fine
+}
+
+// pop removes the head entry. Callers hold e.mu.
+func (e *eng) pop() int {
+	v := e.queue[0]
+	e.queue = e.queue[1:]
+	return v
+}
+
+func (e *eng) seededInBody() int {
+	// callers hold e.mu
+	return e.n
+}
+
+func (e *eng) earlyExit() {
+	e.mu.Lock()
+	if len(e.queue) == 0 {
+		e.mu.Unlock()
+		return
+	}
+	e.n++
+	e.mu.Unlock()
+}
+
+func fresh() *eng {
+	e := &eng{}
+	e.queue = []int{1}
+	return e
+}
+
+func (e *eng) closure() {
+	e.mu.Lock()
+	go func() {
+		e.n++ // want "guarded by e.mu"
+	}()
+	e.mu.Unlock()
+}
+
+func (e *eng) deferredCleanup() {
+	e.mu.Lock()
+	defer func() {
+		e.queue = nil
+		e.mu.Unlock()
+	}()
+	e.n++
+}
+
+func (e *eng) wrongLock(other *eng) {
+	other.mu.Lock()
+	e.n++ // want "guarded by e.mu"
+	other.mu.Unlock()
+}
+
+type rw struct {
+	mu   sync.RWMutex
+	view []int // guarded by r.mu
+}
+
+func (r *rw) read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.view[0]
+}
+
+type typo struct {
+	lk sync.Mutex
+	// guarded by t.lock
+	x int // want "unknown mutex"
+}
+
+func use(t *typo) int { return t.x }
