@@ -23,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"sympack"
 	"sympack/internal/des"
@@ -68,6 +69,37 @@ func main() {
 	run("10", scaling("boneS10 analogue", buildBone, true))
 	run("11", scaling("thermal2 analogue", buildThermal, false))
 	run("12", scaling("thermal2 analogue", buildThermal, true))
+
+	if len(figures) > 0 {
+		path := filepath.Join(csvDir, "BENCH_scaling.json")
+		if err := writeScalingReport(path, *scale, figures); err != nil {
+			fmt.Fprintln(os.Stderr, "benchfig:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("scaling report written to %s\n", path)
+	}
+}
+
+// figures accumulates one entry per strong-scaling run for the
+// BENCH_scaling.json run report (Figs. 7–12).
+var figures []sympack.MetricsFigure
+
+// writeScalingReport dumps the collected strong-scaling curves in the
+// shared run-report schema so benchmark trajectories stay greppable
+// across revisions.
+func writeScalingReport(path string, scale int, figs []sympack.MetricsFigure) error {
+	rep := &sympack.RunReport{
+		Command:   "benchfig",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Matrix:    fmt.Sprintf("generated analogues, scale %d", scale),
+		Figures:   figs,
+	}
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	return sympack.WriteRunReport(fh, rep)
 }
 
 func header(name string) string {
@@ -227,6 +259,15 @@ func scaling(name string, build func(int) *matrix.SparseSym, solve bool) func(in
 		if err != nil {
 			return err
 		}
+		tag := "factor"
+		if solve {
+			tag = "solve"
+		}
+		fig := sympack.MetricsFigure{
+			Name:   strings.ReplaceAll(name, " ", "_") + "_" + tag,
+			Matrix: name,
+			Phase:  tag,
+		}
 		rows := [][]string{{"nodes", "sympack_seconds", "pastix_seconds"}}
 		for i := range spPts {
 			spT, blT := spPts[i].FactorSeconds, blPts[i].FactorSeconds
@@ -239,11 +280,11 @@ func scaling(name string, build func(int) *matrix.SparseSym, solve bool) func(in
 				fmt.Sprintf("%.6g", spT),
 				fmt.Sprintf("%.6g", blT),
 			})
+			fig.Points = append(fig.Points, sympack.MetricsPoint{
+				Nodes: spPts[i].Nodes, Seconds: spT, Baseline: blT,
+			})
 		}
-		tag := "factor"
-		if solve {
-			tag = "solve"
-		}
-		return writeCSV(strings.ReplaceAll(name, " ", "_")+"_"+tag, rows)
+		figures = append(figures, fig)
+		return writeCSV(fig.Name, rows)
 	}
 }

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sympack"
+)
 
 func TestHeaders(t *testing.T) {
 	for _, name := range []string{"table1", "5", "6", "7", "8", "9", "10", "11", "12"} {
@@ -37,8 +44,50 @@ func TestFigureRunnersSmallScale(t *testing.T) {
 func TestScalingRunnerSmallScale(t *testing.T) {
 	// One factor figure on the smallest matrix keeps this quick while
 	// driving the full sweep code path.
+	figures = nil
 	if err := scaling("bone test", buildBone, false)(0); err != nil {
 		t.Fatal(err)
+	}
+	if len(figures) != 1 || len(figures[0].Points) == 0 {
+		t.Fatalf("scaling runner collected %d figures", len(figures))
+	}
+}
+
+// TestScalingReportRoundTrip is the ISSUE acceptance check: the
+// BENCH_scaling.json document written by the scaling runners must
+// round-trip through encoding/json with its curves intact.
+func TestScalingReportRoundTrip(t *testing.T) {
+	figures = nil
+	if err := scaling("bone test", buildBone, false)(0); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_scaling.json")
+	if err := writeScalingReport(path, 0, figures); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep sympack.RunReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema == "" || rep.Command != "benchfig" {
+		t.Fatalf("schema %q command %q", rep.Schema, rep.Command)
+	}
+	if len(rep.Figures) != len(figures) {
+		t.Fatalf("%d figures, want %d", len(rep.Figures), len(figures))
+	}
+	for i := range rep.Figures {
+		if rep.Figures[i].Name != figures[i].Name || len(rep.Figures[i].Points) != len(figures[i].Points) {
+			t.Fatalf("figure %d did not survive the round trip", i)
+		}
+		for j, p := range rep.Figures[i].Points {
+			if p != figures[i].Points[j] {
+				t.Fatalf("figure %d point %d: %+v != %+v", i, j, p, figures[i].Points[j])
+			}
+		}
 	}
 }
 

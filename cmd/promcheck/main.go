@@ -1,0 +1,33 @@
+// Command promcheck validates a Prometheus text exposition (v0.0.4) read
+// from stdin: line format, label escaping, histogram completeness. It is
+// the no-external-deps substitute for promtool in the CI metrics smoke
+// job:
+//
+//	curl -s http://127.0.0.1:9464/metrics | promcheck -min 20
+//
+// Exit status is nonzero when the input is malformed or declares fewer
+// than -min distinct metric families.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sympack/internal/metrics"
+)
+
+func main() {
+	min := flag.Int("min", 0, "fail unless at least this many distinct metric families are present")
+	flag.Parse()
+	families, samples, err := metrics.ValidateExposition(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	if families < *min {
+		fmt.Fprintf(os.Stderr, "promcheck: %d metric families, want at least %d\n", families, *min)
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: ok: %d families, %d samples\n", families, samples)
+}

@@ -17,6 +17,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"sympack"
 )
@@ -36,6 +37,8 @@ func main() {
 		selDiag = flag.String("selinv-diag", "", "write diag(A⁻¹) to this file (selected inversion)")
 		chaos   = flag.Int64("chaos", 0, "run under the default chaos fault plan with this seed (0 = off)")
 		faultsF = flag.String("faults", "", "explicit fault plan, e.g. drop=0.05,delay=0.1 (seeded by -chaos, default 1)")
+		metAddr = flag.String("metrics-addr", "", "serve /metrics and /healthz on this host:port while factoring (use :0 for an ephemeral port)")
+		report  = flag.String("report", "", "write a machine-readable run report to this JSON file ('auto' = BENCH_spsolve_<timestamp>.json)")
 	)
 	flag.Parse()
 	plan, err := faultPlan(*faultsF, *chaos)
@@ -43,7 +46,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spsolve:", err)
 		os.Exit(1)
 	}
-	if err := run(*matPath, *rhsPath, *outPath, *ranks, *workers, *gpus, *ordName, *refine, *saveFac, *loadFac, *selDiag, plan); err != nil {
+	if err := run(*matPath, *rhsPath, *outPath, *ranks, *workers, *gpus, *ordName, *refine, *saveFac, *loadFac, *selDiag, plan, *metAddr, *report); err != nil {
 		fmt.Fprintln(os.Stderr, "spsolve:", err)
 		os.Exit(1)
 	}
@@ -70,7 +73,7 @@ func faultPlan(spec string, chaos int64) (*sympack.FaultPlan, error) {
 	}
 }
 
-func run(matPath, rhsPath, outPath string, ranks, workers, gpus int, ordName string, refine bool, saveFac, loadFac, selDiag string, plan *sympack.FaultPlan) error {
+func run(matPath, rhsPath, outPath string, ranks, workers, gpus int, ordName string, refine bool, saveFac, loadFac, selDiag string, plan *sympack.FaultPlan, metAddr, report string) error {
 	var (
 		a   *sympack.Matrix
 		f   *sympack.Factor
@@ -104,14 +107,24 @@ func run(matPath, rhsPath, outPath string, ranks, workers, gpus int, ordName str
 		}
 		f, err = sympack.Factorize(a, sympack.Options{
 			Ranks: ranks, Workers: workers, GPUsPerNode: gpus, Ordering: ord, Faults: plan,
+			MetricsAddr: metAddr,
 		})
 		if err != nil {
 			return err
+		}
+		defer f.CloseMetrics()
+		if addr := f.MetricsAddr(); addr != "" {
+			fmt.Fprintf(os.Stderr, "spsolve: metrics at http://%s/metrics\n", addr)
 		}
 		fmt.Fprintf(os.Stderr, "spsolve: factored n=%d nnz=%d in %v (nnz(L)=%d)\n",
 			a.N, a.NnzFull(), f.Stats.Wall, f.Stats.NnzL)
 		if f.Stats.Faults.Any() {
 			fmt.Fprintf(os.Stderr, "spsolve: faults injected/recovered: %s\n", f.Stats.Faults)
+		}
+		if report != "" {
+			if err := writeReport(report, matPath, a, f, ranks, gpus); err != nil {
+				return err
+			}
 		}
 	default:
 		return fmt.Errorf("one of -A or -load-factor is required")
@@ -181,6 +194,42 @@ func run(matPath, rhsPath, outPath string, ranks, workers, gpus int, ordName str
 		}
 	}
 	return writeVector(outPath, x)
+}
+
+// writeReport dumps the merged metric registry plus run configuration as
+// one BENCH_*.json document.
+func writeReport(path, matName string, a *sympack.Matrix, f *sympack.Factor, ranks, gpus int) error {
+	now := time.Now()
+	if path == "auto" {
+		path = sympack.ReportFilename("spsolve", now)
+	}
+	st := &f.Stats
+	rep := &sympack.RunReport{
+		Command:      "spsolve",
+		Timestamp:    now.UTC().Format(time.RFC3339),
+		Matrix:       matName,
+		N:            a.N,
+		Nnz:          int64(a.NnzFull()),
+		Ranks:        ranks,
+		Workers:      st.Workers,
+		GPUs:         gpus,
+		WallSeconds:  st.Wall.Seconds(),
+		ModelSeconds: st.ModelSeconds,
+		Metrics:      f.Metrics.Snapshot().Series,
+	}
+	if st.ModelSeconds > 0 {
+		rep.GFlops = float64(st.FactorFlop) / st.ModelSeconds / 1e9
+	}
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	if err := sympack.WriteRunReport(fh, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "spsolve: report written to %s\n", path)
+	return nil
 }
 
 func readMatrix(path string) (*sympack.Matrix, error) {

@@ -18,6 +18,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"sympack"
 	"sympack/internal/gpu"
@@ -44,6 +45,9 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace-event timeline of the factorization to this file")
 		chaos    = flag.Int64("chaos", 0, "run under the default chaos fault plan with this seed (0 = off)")
 		faultStr = flag.String("faults", "", "explicit fault plan, e.g. drop=0.05,delay=0.1,oom=0.1/20 (uses -chaos or -seed as the plan seed)")
+		metAddr  = flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /healthz (JSON) on this host:port while the run executes (use :0 for an ephemeral port)")
+		metHold  = flag.Duration("metrics-hold", 0, "keep the metrics endpoint serving this long after the run completes (for scrapers)")
+		report   = flag.String("report", "", "write a machine-readable run report to this JSON file ('auto' = BENCH_sympack2d_<timestamp>.json)")
 	)
 	flag.Parse()
 
@@ -81,6 +85,7 @@ func main() {
 		os.Exit(1)
 	}
 	opt.Faults = plan
+	opt.MetricsAddr = *metAddr
 
 	fmt.Printf("matrix: %s  n=%d  nnz=%d  ordering=%v  ranks=%d  gpus/node=%d\n",
 		name, a.N, a.NnzFull(), ord, *ranks, *gpus)
@@ -94,6 +99,9 @@ func main() {
 		os.Exit(1)
 	}
 	st := &f.Stats
+	if addr := f.MetricsAddr(); addr != "" {
+		fmt.Printf("metrics: serving http://%s/metrics and /healthz\n", addr)
+	}
 	fmt.Printf("factorization: wall=%v  modeled=%.4gs  supernodes=%d  blocks=%d  updates=%d  workers/rank=%d\n",
 		st.Wall, st.ModelSeconds, st.Supernodes, st.Blocks, st.Updates, st.Workers)
 	fmt.Printf("factor: nnz(L)=%d  flops=%.3g  fill=%.2fx\n",
@@ -134,6 +142,19 @@ func main() {
 		printWorkloadSplit(f)
 	}
 
+	if *report != "" {
+		if err := writeReport(*report, name, a, f, *ranks, *gpus); err != nil {
+			fmt.Fprintln(os.Stderr, "sympack2d:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *metHold > 0 && f.MetricsAddr() != "" {
+		fmt.Printf("metrics: holding endpoint open for %v\n", *metHold)
+		time.Sleep(*metHold)
+	}
+	_ = f.CloseMetrics()
+
 	if rec != nil {
 		fh, err := os.Create(*traceOut)
 		if err != nil {
@@ -152,6 +173,42 @@ func main() {
 			fmt.Printf("  rank %2d: %5.1f%%\n", rank, 100*util[int32(rank)])
 		}
 	}
+}
+
+// writeReport dumps the merged metric registry plus run configuration as
+// one BENCH_*.json document.
+func writeReport(path, name string, a *sympack.Matrix, f *sympack.Factor, ranks, gpus int) error {
+	now := time.Now()
+	if path == "auto" {
+		path = sympack.ReportFilename("sympack2d", now)
+	}
+	st := &f.Stats
+	rep := &sympack.RunReport{
+		Command:      "sympack2d",
+		Timestamp:    now.UTC().Format(time.RFC3339),
+		Matrix:       name,
+		N:            a.N,
+		Nnz:          int64(a.NnzFull()),
+		Ranks:        ranks,
+		Workers:      st.Workers,
+		GPUs:         gpus,
+		WallSeconds:  st.Wall.Seconds(),
+		ModelSeconds: st.ModelSeconds,
+		Metrics:      f.Metrics.Snapshot().Series,
+	}
+	if st.ModelSeconds > 0 {
+		rep.GFlops = float64(st.FactorFlop) / st.ModelSeconds / 1e9
+	}
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	if err := sympack.WriteRunReport(fh, rep); err != nil {
+		return err
+	}
+	fmt.Printf("report: %s\n", path)
+	return nil
 }
 
 // faultPlan resolves the -chaos / -faults flags into an optional plan. An

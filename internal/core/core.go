@@ -25,6 +25,7 @@ import (
 	"sympack/internal/gpu"
 	"sympack/internal/machine"
 	"sympack/internal/matrix"
+	"sympack/internal/metrics"
 	"sympack/internal/ordering"
 	"sympack/internal/symbolic"
 	"sympack/internal/trace"
@@ -86,6 +87,13 @@ type Options struct {
 	// decision, so chaos runs are reproducible. The solve phase reuses the
 	// plan through a restricted injector (see SolveDistributed).
 	Faults *faults.Plan
+	// MetricsAddr, when non-empty, serves the live metrics registry over
+	// HTTP for the duration of the factorization and afterwards (until
+	// Factor.CloseMetrics): GET /metrics returns the Prometheus text
+	// exposition of the merged per-rank registries, GET /healthz the JSON
+	// health report the stall watchdog would print. Use "127.0.0.1:0" to
+	// bind an ephemeral port (see Factor.MetricsAddr).
+	MetricsAddr string
 }
 
 // MappingKind selects the block distribution.
@@ -234,6 +242,33 @@ type Factor struct {
 
 	Stats      Stats
 	SolveStats Stats // filled by Solve
+
+	// Metrics is the merged job-wide metric registry: every rank's
+	// instrumentation bundle reduced across ranks (counters and histogram
+	// buckets summed, peak gauges maxed), plus the runtime, device, fault
+	// and trace projections. Nil only when the factorization failed.
+	Metrics *metrics.Registry
+
+	msrv *metrics.Server // live /metrics endpoint; nil unless MetricsAddr was set
+}
+
+// MetricsAddr returns the bound address of the metrics endpoint ("" when
+// Options.MetricsAddr was empty), with ephemeral ports resolved.
+func (f *Factor) MetricsAddr() string {
+	if f.msrv == nil {
+		return ""
+	}
+	return f.msrv.Addr()
+}
+
+// CloseMetrics shuts down the metrics endpoint, if one is serving.
+func (f *Factor) CloseMetrics() error {
+	if f.msrv == nil {
+		return nil
+	}
+	err := f.msrv.Close()
+	f.msrv = nil
+	return err
 }
 
 // ErrNotPositiveDefinite is re-exported for callers that only import core.
@@ -259,13 +294,14 @@ func FactorizeAnalyzed(st *symbolic.Structure, pa *matrix.SparseSym, opt Options
 	tg := symbolic.BuildTaskGraph(st)
 	m2d := blockMapFor(opt.Mapping, opt.Ranks)
 
+	inj := newInjector(opt)
 	rt, err := upcxx.NewRuntime(upcxx.Config{
 		Ranks:          opt.Ranks,
 		RanksPerNode:   opt.RanksPerNode,
 		GPUsPerNode:    opt.GPUsPerNode,
 		Machine:        *opt.Machine,
 		DeviceCapacity: opt.DeviceCapacity,
-		Faults:         newInjector(opt),
+		Faults:         inj,
 		Trace:          opt.Trace,
 	})
 	if err != nil {
@@ -303,6 +339,33 @@ func FactorizeAnalyzed(st *symbolic.Structure, pa *matrix.SparseSym, opt Options
 	})
 	defer stopWatch()
 
+	// The opt-in observability endpoint serves the live merged view while
+	// the factorization runs; it survives the run (gatherLive stays valid)
+	// until the caller invokes Factor.CloseMetrics.
+	var msrv *metrics.Server
+	if opt.MetricsAddr != "" {
+		msrv, err = metrics.Serve(opt.MetricsAddr,
+			func() metrics.Snapshot {
+				return gatherLive(&engMu, engines, rt, inj, opt.Trace)
+			},
+			func() any {
+				engMu.Lock()
+				rep := snapshotHealth(engines, rt)
+				engMu.Unlock()
+				return rep
+			})
+		if err != nil {
+			return nil, fmt.Errorf("core: metrics endpoint: %w", err)
+		}
+	}
+
+	// merged is the cross-rank reduction of the per-rank registries,
+	// captured on rank 0 inside the run (the reduction is a collective
+	// over the runtime's AllReduce, so it must happen while all ranks are
+	// still executing). Zero-valued when the job aborted.
+	var mergedMu sync.Mutex
+	var merged metrics.Snapshot
+
 	start := machine.WallNow()
 	totalTasks := int64(st.NumBlocks() + len(tg.Updates))
 	err = rt.Run(func(r *upcxx.Rank) {
@@ -320,6 +383,11 @@ func FactorizeAnalyzed(st *symbolic.Structure, pa *matrix.SparseSym, opt Options
 		// rank is done: consumers whose announcements were lost direct
 		// re-requests at this rank, and the barrier does not drain queues.
 		e.drainUntil(&progress, totalTasks)
+		if snap, rerr := r.ReduceSnapshot(e.met.reg.Snapshot()); rerr == nil && r.ID == 0 {
+			mergedMu.Lock()
+			merged = snap
+			mergedMu.Unlock()
+		}
 		_ = r.Barrier()
 	})
 	f.Stats.Wall = machine.WallSince(start)
@@ -328,15 +396,30 @@ func FactorizeAnalyzed(st *symbolic.Structure, pa *matrix.SparseSym, opt Options
 		if e == nil {
 			continue
 		}
-		f.Stats.Faults.AllocRetries += e.allocRetries.Load()
-		f.Stats.Faults.DeviceDemotions += e.demotions.Load()
+		f.Stats.Faults.AllocRetries += int64(e.met.allocRetries.Value())
+		f.Stats.Faults.DeviceDemotions += int64(e.met.gpuDemotions.Value())
 	}
 	if err != nil {
+		if msrv != nil {
+			msrv.Close()
+		}
 		return nil, err
 	}
+	// Assemble the job-wide registry: the reduced per-rank view, the
+	// runtime's live series, and the export-time projections (runtime
+	// stats, devices, faults, trace). Stats.Faults is then re-read out of
+	// the registry — the metric names are the single source of truth.
+	f.Metrics = metrics.NewRegistry()
+	mergedMu.Lock()
+	f.Metrics.Import(merged)
+	mergedMu.Unlock()
+	f.Metrics.Import(rt.Metrics().Snapshot())
+	exportJob(f.Metrics, rt, inj, opt.Trace)
+	f.Stats.Faults = faultStatsFrom(f.Metrics)
+	f.msrv = msrv
 	for _, e := range engines {
 		f.Stats.PerRank[e.r.ID] = e.opStats()
-		f.Stats.FallbacksOOM += e.oomFallbacks.Load()
+		f.Stats.FallbacksOOM += int64(e.met.oomFallbacks.Value())
 		if s := e.r.Elapsed(); s > f.Stats.ModelSeconds {
 			f.Stats.ModelSeconds = s
 		}
@@ -349,6 +432,7 @@ func FactorizeAnalyzed(st *symbolic.Structure, pa *matrix.SparseSym, opt Options
 	// Every block must have been produced.
 	for bid := range f.Data {
 		if f.Data[bid] == nil {
+			f.CloseMetrics()
 			return nil, fmt.Errorf("core: internal: block %d never factored", bid)
 		}
 	}
@@ -407,45 +491,30 @@ func newInjector(opt Options) *faults.Injector {
 	return faults.New(*opt.Faults, actors)
 }
 
-// snapshotHealth builds a HealthReport from the engines' atomic health
-// mirrors and the runtime's fault counters. Unpublished engine slots (nil)
-// are skipped; safe to call from the watchdog goroutine mid-run.
+// snapshotHealth builds a HealthReport from the engines' metric gauges and
+// the runtime's fault counters. Gauge reads are single atomic loads, so
+// this is safe from the watchdog goroutine and the /healthz handler
+// mid-run; unpublished engine slots (nil) are skipped.
 func snapshotHealth(engines []*engine, rt *upcxx.Runtime) *HealthReport {
 	rep := &HealthReport{Faults: runtimeFaultStats(rt)}
 	for _, e := range engines {
 		if e == nil {
 			continue
 		}
-		rep.Faults.AllocRetries += e.allocRetries.Load()
-		rep.Faults.DeviceDemotions += e.demotions.Load()
+		rep.Faults.AllocRetries += int64(e.met.allocRetries.Value())
+		rep.Faults.DeviceDemotions += int64(e.met.gpuDemotions.Value())
 		rep.Ranks = append(rep.Ranks, RankHealth{
 			Rank:            e.r.ID,
-			Done:            int(e.hDone.Load()),
-			Total:           int(e.hTotal.Load()),
-			RTQDepth:        int(e.hRTQ.Load()),
-			Inbox:           int(e.hInbox.Load()),
+			Done:            int(e.met.tasksDone.Value()),
+			Total:           int(e.met.tasksTotal.Value()),
+			RTQDepth:        int(e.met.rtqDepth.Value()),
+			Inbox:           int(e.met.inboxDepth.Value()),
 			PendingRPCs:     e.r.PendingRPCs(),
-			OutstandingDeps: int(e.hWanted.Load()),
-			ReRequests:      e.hReRequests.Load(),
+			OutstandingDeps: int(e.met.wantedBlocks.Value()),
+			ReRequests:      int64(e.met.reRequests.Value()),
 		})
 	}
 	return rep
-}
-
-// runtimeFaultStats converts the runtime's atomic counters into a
-// FaultStats value (the engine-side AllocRetries/DeviceDemotions are added
-// by the callers that can see the engines).
-func runtimeFaultStats(rt *upcxx.Runtime) FaultStats {
-	return FaultStats{
-		DroppedSignals:   rt.Stats.DroppedSignals.Load(),
-		DupSignals:       rt.Stats.DupSignals.Load(),
-		DelayedSignals:   rt.Stats.DelayedSignals.Load(),
-		TransferRetries:  rt.Stats.TransferRetries.Load(),
-		TransferFailures: rt.Stats.TransferFailures.Load(),
-		Stalls:           rt.Stats.Stalls.Load(),
-		ReRequests:       rt.Stats.ReRequests.Load(),
-		Redeliveries:     rt.Stats.Redeliveries.Load(),
-	}
 }
 
 // ErrStalled is returned when the watchdog detects a scheduling deadlock.

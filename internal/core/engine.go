@@ -15,6 +15,7 @@ import (
 	"sympack/internal/gpu"
 	"sympack/internal/machine"
 	"sympack/internal/matrix"
+	"sympack/internal/metrics"
 	"sympack/internal/simnet"
 	"sympack/internal/symbolic"
 	"sympack/internal/upcxx"
@@ -175,19 +176,11 @@ type engine struct {
 	// offload decision answers CPU. Any worker may demote; all consult it.
 	demoted atomic.Bool
 
-	// Health mirrors: the stall watchdog's goroutine reads these while the
-	// rank runs, so they are atomics updated once per loop iteration.
-	hDone, hTotal, hRTQ, hInbox, hWanted atomic.Int32
-	hReRequests                          atomic.Int64
-
-	// Kernel counters, atomic because every worker increments them.
-	opsCPU       [machine.NumOps]atomic.Int64
-	opsGPU       [machine.NumOps]atomic.Int64
-	oomFallbacks atomic.Int64
-	xferFailures atomic.Int64
-	// allocRetries/demotions are read by the watchdog mid-run.
-	allocRetries atomic.Int64
-	demotions    atomic.Int64
+	// met is the per-rank metrics bundle (internal/metrics registry).
+	// Counter/gauge reads and writes are single atomics, so the stall
+	// watchdog and the /metrics endpoint consume it while the rank runs;
+	// it replaced the ad-hoc health-mirror and kernel-counter atomics.
+	met *coreMetrics
 }
 
 func newEngine(r *upcxx.Rank, st *symbolic.Structure, tg *symbolic.TaskGraph, a *matrix.SparseSym, m2d symbolic.BlockMap, opt *Options, dir []upcxx.GlobalPtr, peers []*engine) *engine {
@@ -212,6 +205,7 @@ func newEngine(r *upcxx.Rank, st *symbolic.Structure, tg *symbolic.TaskGraph, a 
 	}
 	e.cond = sync.NewCond(&e.mu)
 	e.rtq.e = e
+	e.met = newCoreMetrics(metrics.NewRegistry())
 	return e
 }
 
@@ -279,7 +273,7 @@ func (e *engine) setup() {
 		}
 		e.totalTasks++
 	}
-	e.hTotal.Store(int32(e.totalTasks))
+	e.met.tasksTotal.Set(float64(e.totalTasks))
 	e.mu.Unlock()
 	e.assemble()
 }
@@ -345,6 +339,9 @@ func (e *engine) push(kind taskKind, id int32) {
 		t.depth = e.chainDepth[e.taskSupernode(t)]
 	}
 	heap.Push(&e.rtq, t)
+	depth := float64(e.rtq.Len())
+	e.met.rtqDepth.Set(depth)
+	e.met.rtqPeak.SetMax(depth)
 	e.cond.Signal()
 }
 
@@ -379,7 +376,9 @@ func (e *engine) pop() (task, bool) {
 	if e.rtq.Len() == 0 {
 		return task{}, false
 	}
-	return heap.Pop(&e.rtq).(task), true
+	t := heap.Pop(&e.rtq).(task)
+	e.met.rtqDepth.Set(float64(e.rtq.Len()))
+	return t, true
 }
 
 // factorLoop is the sequential (Workers == 1) scheduling loop of paper
@@ -413,6 +412,7 @@ func (e *engine) factorLoop() {
 					e.reRequestLost()
 					e.mu.Unlock()
 				}
+				e.met.backoffWaits.Inc()
 				machine.Backoff(20 * time.Microsecond)
 			} else {
 				runtime.Gosched()
@@ -430,12 +430,13 @@ func (e *engine) factorLoop() {
 	}
 }
 
-// mirrorHealth refreshes the watchdog's atomic snapshot; callers hold e.mu.
+// mirrorHealth refreshes the scheduler-occupancy gauges the watchdog and
+// the /metrics endpoint read while the rank runs; callers hold e.mu.
 func (e *engine) mirrorHealth() {
-	e.hDone.Store(int32(e.doneTasks))
-	e.hRTQ.Store(int32(e.rtq.Len()))
-	e.hInbox.Store(int32(len(e.inbox)))
-	e.hWanted.Store(int32(len(e.wanted)))
+	e.met.tasksDone.Set(float64(e.doneTasks))
+	e.met.rtqDepth.Set(float64(e.rtq.Len()))
+	e.met.inboxDepth.Set(float64(len(e.inbox)))
+	e.met.wantedBlocks.Set(float64(len(e.wanted)))
 }
 
 // drainUntil keeps executing incoming RPCs after this rank's own tasks are
@@ -493,7 +494,7 @@ func (e *engine) reRequestLost() {
 		b := bid
 		requester := e.r.ID
 		peers := e.peers
-		e.hReRequests.Add(1)
+		e.met.reRequests.Inc()
 		rt.Stats.ReRequests.Add(1)
 		if tr := e.opt.Trace; tr != nil {
 			tr.End(int32(e.r.ID), "fault:re-request", tr.Begin(), fmt.Sprintf("blk=%d owner=%d", b, owner))
@@ -578,7 +579,7 @@ func (e *engine) acquire(bid int32) {
 					e.r.Device().Free(buf)
 				}
 			} else if !errors.Is(err, gpu.ErrDeviceFailed) {
-				e.oomFallbacks.Add(1)
+				e.met.oomFallbacks.Inc()
 			}
 		}
 		if fc.dev == nil {
@@ -587,7 +588,7 @@ func (e *engine) acquire(bid int32) {
 				// Retries exhausted: keep the block wanted and let the
 				// re-request path re-signal it; a later acquire retries
 				// the get with a fresh attempt budget.
-				e.xferFailures.Add(1)
+				e.met.fetchFailures.Inc()
 				e.reqAt[bid] = 0
 				return
 			}
@@ -605,6 +606,7 @@ func (e *engine) acquire(bid int32) {
 	// Updates consuming this block lose one source dependency.
 	for _, ui := range e.updatesByLocalSource[bid] {
 		e.depUpdate[ui]--
+		e.met.depDecrements.Inc()
 		if e.depUpdate[ui] == 0 {
 			e.push(taskUpdate, ui)
 		}
@@ -630,6 +632,7 @@ func (e *engine) hostOf(bid int32) []float64 {
 // zero; callers hold e.mu.
 func (e *engine) decBlockN(bid, n int32) {
 	e.depBlock[bid] -= n
+	e.met.depDecrements.Add(float64(n))
 	if e.depBlock[bid] == 0 {
 		e.push(taskFor(&e.st.Blocks[bid]), bid)
 	}
@@ -646,7 +649,7 @@ func (e *engine) demote() {
 	if e.demoted.Swap(true) {
 		return
 	}
-	e.demotions.Add(1)
+	e.met.gpuDemotions.Inc()
 	if tr := e.opt.Trace; tr != nil {
 		tr.End(int32(e.r.ID), "fault:demote-gpu", tr.Begin(), fmt.Sprintf("dev=%d", e.r.Device().ID))
 	}
@@ -668,7 +671,7 @@ func (e *engine) devAlloc(n int) (*gpu.Buffer, error) {
 			return nil, err
 		}
 		if errors.Is(err, faults.ErrTransient) && attempt < 3 {
-			e.allocRetries.Add(1)
+			e.met.allocRetries.Inc()
 			continue
 		}
 		return nil, err
@@ -739,8 +742,7 @@ func (e *engine) runDiag(bid int32) {
 	if e.offload(machine.OpPotrf, n*n) {
 		err = e.gpuPotrf(n, data)
 	} else {
-		e.countCPU(machine.OpPotrf)
-		e.r.Charge(e.opt.Machine.CPUTime(machine.KernelFlops(machine.OpPotrf, 0, n, 0)))
+		e.chargeCPU(machine.OpPotrf, machine.KernelFlops(machine.OpPotrf, 0, n, 0))
 		err = blas.Potrf(blas.Lower, n, data, n)
 	}
 	if err != nil {
@@ -767,10 +769,7 @@ func (e *engine) runFactor(bid int32) {
 	if e.offload(machine.OpTrsm, m*n) {
 		e.gpuTrsm(m, n, diagID, data)
 	} else {
-		e.countCPU(machine.OpTrsm)
-		e.r.Charge(e.opt.Machine.CPUTime(machine.KernelFlops(machine.OpTrsm, m, n, 0)))
-		diag := e.hostOf(diagID)
-		blas.Trsm(blas.Right, blas.Lower, blas.Transpose, m, n, 1, diag, n, data, m)
+		e.cpuTrsm(m, n, diagID, data)
 	}
 	// Consumers: owners of the targets of every update using this block.
 	consumers := map[int]bool{}
@@ -800,8 +799,7 @@ func (e *engine) runUpdate(ui int32) {
 		if e.offload(machine.OpSyrk, mB*nA) {
 			e.gpuSyrk(mB, w, hostA, scratch)
 		} else {
-			e.countCPU(machine.OpSyrk)
-			e.r.Charge(e.opt.Machine.CPUTime(machine.KernelFlops(machine.OpSyrk, mB, w, 0)))
+			e.chargeCPU(machine.OpSyrk, machine.KernelFlops(machine.OpSyrk, mB, w, 0))
 			blas.Syrk(blas.Lower, blas.NoTrans, mB, w, 1, hostA, mB, 0, scratch, mB)
 		}
 	} else {
@@ -809,8 +807,7 @@ func (e *engine) runUpdate(ui int32) {
 		if e.offload(machine.OpGemm, mB*nA) {
 			e.gpuGemm(mB, nA, w, hostB, hostA, scratch)
 		} else {
-			e.countCPU(machine.OpGemm)
-			e.r.Charge(e.opt.Machine.CPUTime(machine.KernelFlops(machine.OpGemm, mB, nA, w)))
+			e.chargeCPU(machine.OpGemm, machine.KernelFlops(machine.OpGemm, mB, nA, w))
 			blas.Gemm(blas.NoTrans, blas.Transpose, mB, nA, w, 1, hostB, mB, hostA, nA, 0, scratch, mB)
 		}
 	}
@@ -836,6 +833,7 @@ func (e *engine) applyUpdate(ui int32, scratch []float64) {
 		}
 		bs.parked[seq] = parkedUpd{ui: ui, scratch: scratch}
 		bs.mu.Unlock()
+		e.met.updatesParked.Inc()
 		return
 	}
 	e.scatterSub(ui, scratch)
@@ -901,20 +899,26 @@ func (e *engine) scatterSub(ui int32, scratch []float64) {
 // -------------------------------------------------------- GPU execution ----
 
 // offload decides CPU vs GPU for an operation with an output of `elems`
-// elements (§4.2's per-op size heuristic).
+// elements (§4.2's per-op size heuristic), counting admissions and
+// threshold rejections per op.
 func (e *engine) offload(op machine.Op, elems int) bool {
-	return e.gpuEnabled() && e.opt.Thresholds.ShouldOffload(op, elems)
+	if !e.gpuEnabled() {
+		return false
+	}
+	if !e.opt.Thresholds.ShouldOffload(op, elems) {
+		e.met.gpuRejections[op].Inc()
+		return false
+	}
+	e.met.gpuOffloads[op].Inc()
+	return true
 }
 
-func (e *engine) countCPU(op machine.Op) { e.opsCPU[op].Add(1) }
-func (e *engine) countGPU(op machine.Op) { e.opsGPU[op].Add(1) }
-
-// opStats snapshots the atomic kernel counters.
+// opStats reads the kernel counters out of the metrics bundle.
 func (e *engine) opStats() OpStats {
 	var s OpStats
 	for i := range s.CPU {
-		s.CPU[i] = e.opsCPU[i].Load()
-		s.GPU[i] = e.opsGPU[i].Load()
+		s.CPU[i] = int64(e.met.tasks[i][targetCPU].Value())
+		s.GPU[i] = int64(e.met.tasks[i][targetGPU].Value())
 	}
 	return s
 }
@@ -930,14 +934,14 @@ func (e *engine) fallbackCPU(err error) bool {
 		return true // demoted by devAlloc; run this op on the CPU
 	}
 	if errors.Is(err, faults.ErrTransient) {
-		e.oomFallbacks.Add(1)
+		e.met.oomFallbacks.Inc()
 		return true
 	}
 	if e.opt.Fallback == gpu.FallbackError {
 		e.r.Runtime().Fail(fmt.Errorf("core: device allocation failed and fallback=error: %w", err))
 		return false
 	}
-	e.oomFallbacks.Add(1)
+	e.met.oomFallbacks.Inc()
 	return true
 }
 
@@ -948,8 +952,7 @@ func (e *engine) gpuPotrf(n int, data []float64) error {
 		if !e.fallbackCPU(err) {
 			return nil // job is aborting
 		}
-		e.countCPU(machine.OpPotrf)
-		e.r.Charge(e.opt.Machine.CPUTime(machine.KernelFlops(machine.OpPotrf, 0, n, 0)))
+		e.chargeCPU(machine.OpPotrf, machine.KernelFlops(machine.OpPotrf, 0, n, 0))
 		return blas.Potrf(blas.Lower, n, data, n)
 	}
 	defer d.Free(buf)
@@ -960,7 +963,7 @@ func (e *engine) gpuPotrf(n int, data []float64) error {
 		return kerr
 	}
 	e.r.Charge(d.DeviceToHost(data, buf))
-	e.countGPU(machine.OpPotrf)
+	e.noteGPU(machine.OpPotrf, dt)
 	return nil
 }
 
@@ -1000,30 +1003,32 @@ func (e *engine) gpuTrsm(m, n int, diagID int32, data []float64) {
 		return
 	}
 	e.r.Charge(d.HostToDevice(bBuf, data))
-	e.r.Charge(d.Trsm(m, n, diagBuf, n, bBuf, m))
+	dt := d.Trsm(m, n, diagBuf, n, bBuf, m)
+	e.r.Charge(dt)
 	e.r.Charge(d.DeviceToHost(data, bBuf))
 	d.Free(bBuf)
 	if ownDiag {
 		d.Free(diagBuf)
 	}
-	e.countGPU(machine.OpTrsm)
+	e.noteGPU(machine.OpTrsm, dt)
 }
 
 func (e *engine) cpuTrsm(m, n int, diagID int32, data []float64) {
-	e.countCPU(machine.OpTrsm)
-	e.r.Charge(e.opt.Machine.CPUTime(machine.KernelFlops(machine.OpTrsm, m, n, 0)))
+	e.chargeCPU(machine.OpTrsm, machine.KernelFlops(machine.OpTrsm, m, n, 0))
 	diag := e.hostOf(diagID)
 	blas.Trsm(blas.Right, blas.Lower, blas.Transpose, m, n, 1, diag, n, data, m)
 }
 
 func (e *engine) gpuSyrk(n, k int, a, scratch []float64) {
 	d := e.r.Device()
+	cpu := func() {
+		e.chargeCPU(machine.OpSyrk, machine.KernelFlops(machine.OpSyrk, n, k, 0))
+		blas.Syrk(blas.Lower, blas.NoTrans, n, k, 1, a, n, 0, scratch, n)
+	}
 	aBuf, err1 := e.devAlloc(len(a))
 	if err1 != nil {
 		if e.fallbackCPU(err1) {
-			e.countCPU(machine.OpSyrk)
-			e.r.Charge(e.opt.Machine.CPUTime(machine.KernelFlops(machine.OpSyrk, n, k, 0)))
-			blas.Syrk(blas.Lower, blas.NoTrans, n, k, 1, a, n, 0, scratch, n)
+			cpu()
 		}
 		return
 	}
@@ -1031,25 +1036,23 @@ func (e *engine) gpuSyrk(n, k int, a, scratch []float64) {
 	if err2 != nil {
 		d.Free(aBuf)
 		if e.fallbackCPU(err2) {
-			e.countCPU(machine.OpSyrk)
-			e.r.Charge(e.opt.Machine.CPUTime(machine.KernelFlops(machine.OpSyrk, n, k, 0)))
-			blas.Syrk(blas.Lower, blas.NoTrans, n, k, 1, a, n, 0, scratch, n)
+			cpu()
 		}
 		return
 	}
 	e.r.Charge(d.HostToDevice(aBuf, a))
-	e.r.Charge(d.Syrk(n, k, aBuf, n, cBuf, n))
+	dt := d.Syrk(n, k, aBuf, n, cBuf, n)
+	e.r.Charge(dt)
 	e.r.Charge(d.DeviceToHost(scratch, cBuf))
 	d.Free(aBuf)
 	d.Free(cBuf)
-	e.countGPU(machine.OpSyrk)
+	e.noteGPU(machine.OpSyrk, dt)
 }
 
 func (e *engine) gpuGemm(m, n, k int, b, a, scratch []float64) {
 	d := e.r.Device()
 	cpu := func() {
-		e.countCPU(machine.OpGemm)
-		e.r.Charge(e.opt.Machine.CPUTime(machine.KernelFlops(machine.OpGemm, m, n, k)))
+		e.chargeCPU(machine.OpGemm, machine.KernelFlops(machine.OpGemm, m, n, k))
 		blas.Gemm(blas.NoTrans, blas.Transpose, m, n, k, 1, b, m, a, n, 0, scratch, m)
 	}
 	bBuf, err := e.devAlloc(len(b))
@@ -1078,12 +1081,13 @@ func (e *engine) gpuGemm(m, n, k int, b, a, scratch []float64) {
 	}
 	e.r.Charge(d.HostToDevice(bBuf, b))
 	e.r.Charge(d.HostToDevice(aBuf, a))
-	e.r.Charge(d.Gemm(m, n, k, bBuf, m, aBuf, n, cBuf, m))
+	dt := d.Gemm(m, n, k, bBuf, m, aBuf, n, cBuf, m)
+	e.r.Charge(dt)
 	e.r.Charge(d.DeviceToHost(scratch, cBuf))
 	d.Free(bBuf)
 	d.Free(aBuf)
 	d.Free(cBuf)
-	e.countGPU(machine.OpGemm)
+	e.noteGPU(machine.OpGemm, dt)
 }
 
 // ErrInternal flags invariant violations.

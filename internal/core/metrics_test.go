@@ -1,0 +1,177 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"sympack/internal/gen"
+	"sympack/internal/machine"
+	"sympack/internal/metrics"
+)
+
+// TestMergedMetricsMatchPerRankStats checks the one-path property: the
+// cross-rank merged registry and the legacy Stats.PerRank view are
+// projections of the same counters, so the per-op task totals must agree
+// exactly.
+func TestMergedMetricsMatchPerRankStats(t *testing.T) {
+	a := gen.Laplace2D(12, 12)
+	f, err := Factorize(a, Options{Ranks: 3, RanksPerNode: 3, GPUsPerNode: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Metrics == nil {
+		t.Fatal("Factor.Metrics not populated")
+	}
+	snap := f.Metrics.Snapshot()
+	for op := 0; op < machine.NumOps; op++ {
+		var cpu, gpu int64
+		for r := range f.Stats.PerRank {
+			cpu += f.Stats.PerRank[r].CPU[op]
+			gpu += f.Stats.PerRank[r].GPU[op]
+		}
+		name := machine.Op(op).String()
+		if got := snap.Value("sympack_core_tasks_total", name, "cpu"); got != float64(cpu) {
+			t.Errorf("%s cpu: merged %g, Stats sum %d", name, got, cpu)
+		}
+		if got := snap.Value("sympack_core_tasks_total", name, "gpu"); got != float64(gpu) {
+			t.Errorf("%s gpu: merged %g, Stats sum %d", name, got, gpu)
+		}
+	}
+	if peak := snap.Value("sympack_core_rtq_peak"); peak < 1 {
+		t.Errorf("rtq peak %g, want >= 1", peak)
+	}
+	if done := snap.Value("sympack_core_tasks_done"); done != snap.Value("sympack_core_tasks_owned") {
+		t.Errorf("tasks done %g != owned %g after completion",
+			snap.Value("sympack_core_tasks_done"), snap.Value("sympack_core_tasks_owned"))
+	}
+}
+
+// histograms extracts every histogram series keyed by name+labels.
+func histograms(snap metrics.Snapshot) map[string]metrics.Series {
+	out := map[string]metrics.Series{}
+	for _, se := range snap.Series {
+		if se.Kind != "histogram" {
+			continue
+		}
+		k := se.Name
+		for _, l := range se.Labels {
+			k += "{" + l.Key + "=" + l.Value + "}"
+		}
+		out[k] = se
+	}
+	return out
+}
+
+// TestHistogramsDeterministicAcrossWorkers is the determinism-contract
+// acceptance test: histograms observe only modeled seconds and payload
+// sizes, so for a fixed seeded problem the merged bucket counts are
+// bit-identical whether each rank runs one worker or four.
+func TestHistogramsDeterministicAcrossWorkers(t *testing.T) {
+	a := gen.Laplace3D(5, 5, 4)
+	run := func(workers int) metrics.Snapshot {
+		f, err := Factorize(a, Options{Ranks: 2, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.Metrics.Snapshot()
+	}
+	h1 := histograms(run(1))
+	h4 := histograms(run(4))
+	if len(h1) == 0 {
+		t.Fatal("no histogram series in merged registry")
+	}
+	if len(h1) != len(h4) {
+		t.Fatalf("series sets differ: %d vs %d", len(h1), len(h4))
+	}
+	for k, a1 := range h1 {
+		a4, ok := h4[k]
+		if !ok {
+			t.Errorf("%s missing from workers=4 run", k)
+			continue
+		}
+		if len(a1.Counts) != len(a4.Counts) {
+			t.Errorf("%s: bucket count %d vs %d", k, len(a1.Counts), len(a4.Counts))
+			continue
+		}
+		for b := range a1.Counts {
+			if a1.Counts[b] != a4.Counts[b] {
+				t.Errorf("%s bucket %d: %d vs %d", k, b, a1.Counts[b], a4.Counts[b])
+			}
+		}
+		// Same multiset of observations, possibly different addition
+		// order: sums agree to rounding.
+		if d := math.Abs(a1.Sum - a4.Sum); d > 1e-9*(1+math.Abs(a1.Sum)) {
+			t.Errorf("%s: sum %g vs %g", k, a1.Sum, a4.Sum)
+		}
+	}
+}
+
+// TestMetricsEndpoint starts the opt-in HTTP listener on an ephemeral
+// port and checks the ISSUE acceptance shape: /metrics is a valid
+// Prometheus text exposition with at least 20 distinct families spanning
+// the core, upcxx, gpu and faults namespaces, and /healthz serves JSON.
+func TestMetricsEndpoint(t *testing.T) {
+	a := gen.Laplace2D(10, 10)
+	f, err := Factorize(a, Options{Ranks: 2, MetricsAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.CloseMetrics()
+	addr := f.MetricsAddr()
+	if addr == "" {
+		t.Fatal("no metrics address resolved")
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.ContentType {
+		t.Errorf("content type %q", ct)
+	}
+	families, samples, err := metrics.ValidateExposition(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+	if families < 20 {
+		t.Errorf("%d metric families, want >= 20", families)
+	}
+	if samples < families {
+		t.Errorf("%d samples < %d families", samples, families)
+	}
+	for _, prefix := range []string{"sympack_core_", "sympack_upcxx_", "sympack_gpu_", "sympack_faults_"} {
+		if !strings.Contains(string(body), prefix) {
+			t.Errorf("exposition lacks %s* series", prefix)
+		}
+	}
+
+	resp, err = http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health any
+	if err := json.Unmarshal(hb, &health); err != nil {
+		t.Fatalf("healthz not JSON: %v\n%s", err, hb)
+	}
+
+	if err := f.CloseMetrics(); err != nil {
+		t.Errorf("CloseMetrics: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("endpoint still serving after CloseMetrics")
+	}
+}

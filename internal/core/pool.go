@@ -66,6 +66,7 @@ func (e *engine) workerLoop(lane int32) {
 		}
 		t, ok := e.pop()
 		if !ok {
+			e.met.workerWaits.Inc()
 			e.cond.Wait()
 			continue
 		}
@@ -118,6 +119,7 @@ func (e *engine) progressLoop() {
 					e.reRequestLost()
 					e.mu.Unlock()
 				}
+				e.met.backoffWaits.Inc()
 				machine.Backoff(20 * time.Microsecond)
 			} else {
 				runtime.Gosched()

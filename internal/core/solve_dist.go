@@ -8,6 +8,7 @@ import (
 	"sympack/internal/blas"
 	"sympack/internal/faults"
 	"sympack/internal/machine"
+	"sympack/internal/metrics"
 	"sympack/internal/simnet"
 	"sympack/internal/symbolic"
 	"sympack/internal/upcxx"
@@ -83,6 +84,16 @@ func (f *Factor) SolveDistributed(b []float64) ([]float64, error) {
 	f.SolveStats.Wall = machine.WallSince(start)
 	f.SolveStats.ModelSeconds = 0
 	f.SolveStats.Faults.Add(runtimeFaultStats(rt))
+	// Fold the solve phase's communication into the job-wide registry.
+	// The projection goes through a scratch registry so Import's merge
+	// semantics apply (counters add, peak gauges take the max) instead of
+	// ExportStats clobbering the factorization's device gauges.
+	if f.Metrics != nil {
+		scratch := metrics.NewRegistry()
+		rt.ExportStats(scratch)
+		f.Metrics.Import(scratch.Snapshot())
+		f.Metrics.Import(rt.Metrics().Snapshot())
+	}
 	for _, e := range engines {
 		if s := e.r.Elapsed(); s > f.SolveStats.ModelSeconds {
 			f.SolveStats.ModelSeconds = s

@@ -266,6 +266,20 @@ func (in *Injector) Count(c Class) int64 {
 	return in.st.counts[c].Load()
 }
 
+// Injected returns the per-class injection tallies (all zero on a nil
+// injector) — the projection the metrics registry exports as
+// sympack_faults_injected_total{class}.
+func (in *Injector) Injected() [NumClasses]int64 {
+	var out [NumClasses]int64
+	if in == nil {
+		return out
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		out[c] = in.st.counts[c].Load()
+	}
+	return out
+}
+
 // splitmix64 is the standard 64-bit finalizer used as a keyed hash.
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15

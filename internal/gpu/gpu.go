@@ -10,12 +10,14 @@ package gpu
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"sympack/internal/blas"
 	"sympack/internal/faults"
 	"sympack/internal/machine"
+	"sympack/internal/metrics"
 )
 
 // ErrOutOfMemory is returned when a device allocation does not fit. The
@@ -55,6 +57,43 @@ type Device struct {
 	// device outright; failed latches the death.
 	inj    *faults.Injector
 	failed atomic.Bool
+
+	// met, when non-nil, receives allocation/admission telemetry.
+	met *devMetrics
+}
+
+// devMetrics bundles the live per-device series so hot paths pay one
+// atomic per event, never a registry lookup.
+type devMetrics struct {
+	admissions    *metrics.Counter
+	allocs        *metrics.Counter
+	allocFailures [3]*metrics.Counter // devfail, transient, oom
+	memPeak       *metrics.Gauge
+}
+
+const (
+	allocFailDev = iota
+	allocFailTransient
+	allocFailOOM
+)
+
+// SetMetrics registers this device's series in reg and starts recording.
+// Call before the device is shared with concurrent users.
+func (d *Device) SetMetrics(reg *metrics.Registry) {
+	id := strconv.Itoa(d.ID)
+	m := &devMetrics{
+		admissions: reg.Counter("sympack_gpu_device_admissions_total",
+			"device operations (kernels and copies) admitted through the stream semaphore", "device", id),
+		allocs: reg.Counter("sympack_gpu_device_allocs_total",
+			"successful device buffer allocations", "device", id),
+		memPeak: reg.Gauge("sympack_gpu_device_mem_peak_elements",
+			"high-water device memory use in float64 elements", metrics.MergeMax, "device", id),
+	}
+	for i, reason := range []string{"devfail", "transient", "oom"} {
+		m.allocFailures[i] = reg.Counter("sympack_gpu_device_alloc_failures_total",
+			"device allocation failures by cause", "device", id, "reason", reason)
+	}
+	d.met = m
 }
 
 // NewDevice creates a device with a capacity of capElems float64 elements.
@@ -79,8 +118,13 @@ func (d *Device) Admission() int { return cap(d.admit) }
 // kernel and host↔device copy runs inside a begin/end pair, so at most
 // cap(admit) device operations make progress at once regardless of how many
 // executor goroutines target the device.
-func (d *Device) begin() { d.admit <- struct{}{} }
-func (d *Device) end()   { <-d.admit }
+func (d *Device) begin() {
+	d.admit <- struct{}{}
+	if d.met != nil {
+		d.met.admissions.Inc()
+	}
+}
+func (d *Device) end() { <-d.admit }
 
 // Buffer is a device-resident array. Its Data lives in host address space
 // (this is a simulation) but is accounted against the device capacity and
@@ -117,18 +161,31 @@ func (d *Device) Alloc(n int) (*Buffer, error) {
 	}
 	if d.failed.Load() || d.inj.DeviceFailed(d.ID) {
 		d.failed.Store(true)
+		d.countAllocFail(allocFailDev)
 		return nil, fmt.Errorf("device %d: %w", d.ID, ErrDeviceFailed)
 	}
 	if d.inj.AllocFault(d.ID) {
+		d.countAllocFail(allocFailTransient)
 		return nil, fmt.Errorf("gpu: device %d: injected allocation failure: %w", d.ID, faults.ErrTransient)
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.capacity > 0 && d.used+int64(n) > d.capacity {
+		d.countAllocFail(allocFailOOM)
 		return nil, fmt.Errorf("%w: want %d elements, %d of %d in use", ErrOutOfMemory, n, d.used, d.capacity)
 	}
 	d.used += int64(n)
+	if d.met != nil {
+		d.met.allocs.Inc()
+		d.met.memPeak.SetMax(float64(d.used))
+	}
 	return &Buffer{dev: d, Data: make([]float64, n)}, nil
+}
+
+func (d *Device) countAllocFail(reason int) {
+	if d.met != nil {
+		d.met.allocFailures[reason].Inc()
+	}
 }
 
 // Free releases a buffer's reservation. Double frees are programming

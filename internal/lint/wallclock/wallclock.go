@@ -40,6 +40,7 @@ var deterministicPackages = map[string]bool{
 	"sympack/internal/upcxx":    true,
 	"sympack/internal/gpu":      true,
 	"sympack/internal/trace":    true,
+	"sympack/internal/metrics":  true,
 }
 
 // bannedTime are the time functions that read or wait on the host clock.

@@ -1,0 +1,328 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// the /metrics endpoint.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText encodes a snapshot in Prometheus text exposition format
+// v0.0.4: one # HELP / # TYPE header per family followed by its samples;
+// histograms expand to cumulative _bucket{le=...} lines (ending at
+// le="+Inf") plus _sum and _count. The snapshot's sorted order makes the
+// output byte-deterministic.
+func WriteText(w io.Writer, snap Snapshot) error {
+	bw := bufio.NewWriter(w)
+	prev := ""
+	for i := range snap.Series {
+		se := &snap.Series[i]
+		if se.Name != prev {
+			prev = se.Name
+			if se.Help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", se.Name, escapeHelp(se.Help))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", se.Name, se.Kind)
+		}
+		switch se.Kind {
+		case "histogram":
+			cum := int64(0)
+			for b, c := range se.Counts {
+				cum += c
+				le := "+Inf"
+				if b < len(se.Bounds) {
+					le = formatValue(se.Bounds[b])
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", se.Name, labelString(se.Labels, "le", le), cum)
+			}
+			fmt.Fprintf(bw, "%s_sum%s %s\n", se.Name, labelString(se.Labels, "", ""), formatValue(se.Sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", se.Name, labelString(se.Labels, "", ""), cum)
+		default:
+			fmt.Fprintf(bw, "%s%s %s\n", se.Name, labelString(se.Labels, "", ""), formatValue(se.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+// labelString renders {k="v",...}, optionally appending one extra pair
+// (the histogram le label); empty label sets render as nothing.
+func labelString(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ValidateExposition parses a Prometheus text exposition and checks line
+// format: legal metric and label names, quoted/escaped label values,
+// parseable sample values, and — for every family declared histogram —
+// the presence of the +Inf bucket, _sum and _count. It returns the number
+// of distinct metric families sampled and the number of sample lines.
+// This is the no-external-deps checker behind cmd/promcheck and the CI
+// metrics smoke job.
+func ValidateExposition(r io.Reader) (families, samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	types := map[string]string{}
+	famSet := map[string]bool{}
+	type histSeen struct{ inf, sum, count bool }
+	hists := map[string]*histSeen{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "#")
+			fields := strings.Fields(rest)
+			if len(fields) >= 1 && (fields[0] == "HELP" || fields[0] == "TYPE") {
+				if len(fields) < 2 || !validMetricName(fields[1]) {
+					return 0, 0, fmt.Errorf("line %d: malformed %s comment", lineNo, fields[0])
+				}
+				if fields[0] == "TYPE" {
+					if len(fields) != 3 {
+						return 0, 0, fmt.Errorf("line %d: TYPE needs a metric type", lineNo)
+					}
+					switch fields[2] {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						return 0, 0, fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[2])
+					}
+					if prev, dup := types[fields[1]]; dup && prev != fields[2] {
+						return 0, 0, fmt.Errorf("line %d: conflicting TYPE for %s", lineNo, fields[1])
+					}
+					types[fields[1]] = fields[2]
+				}
+			}
+			continue // other # lines are free-form comments
+		}
+		name, labels, value, perr := parseSample(line)
+		if perr != nil {
+			return 0, 0, fmt.Errorf("line %d: %v", lineNo, perr)
+		}
+		samples++
+		fam := name
+		base, suffix := splitHistSuffix(name)
+		if suffix != "" && (types[base] == "histogram" || types[base] == "summary") {
+			fam = base
+			if types[base] == "histogram" {
+				h := hists[base]
+				if h == nil {
+					h = &histSeen{}
+					hists[base] = h
+				}
+				switch suffix {
+				case "_bucket":
+					le, ok := labels["le"]
+					if !ok {
+						return 0, 0, fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+					}
+					if le == "+Inf" {
+						h.inf = true
+					}
+				case "_sum":
+					h.sum = true
+				case "_count":
+					h.count = true
+				}
+			}
+		}
+		famSet[fam] = true
+		_ = value
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, err
+	}
+	var typed []string
+	for name := range types {
+		typed = append(typed, name)
+	}
+	sort.Strings(typed)
+	for _, name := range typed {
+		if types[name] != "histogram" || !famSet[name] {
+			continue
+		}
+		h := hists[name]
+		if h == nil || !h.inf || !h.sum || !h.count {
+			return 0, 0, fmt.Errorf("histogram %s missing +Inf bucket, _sum or _count", name)
+		}
+	}
+	return len(famSet), samples, nil
+}
+
+func splitHistSuffix(name string) (base, suffix string) {
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, s) {
+			return strings.TrimSuffix(name, s), s
+		}
+	}
+	return name, ""
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample hand-parses one sample line: name[{labels}] value [ts].
+// A quote-and-escape-aware scanner, so label values may contain } and ,.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	labels = map[string]string{}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			for i < len(line) && (line[i] == ' ' || line[i] == ',') {
+				i++
+			}
+			if i < len(line) && line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && line[j] != '=' {
+				j++
+			}
+			if j >= len(line) {
+				return "", nil, 0, fmt.Errorf("unterminated label pair")
+			}
+			lname := strings.TrimSpace(line[i:j])
+			if !validLabelName(lname) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q", lname)
+			}
+			i = j + 1
+			if i >= len(line) || line[i] != '"' {
+				return "", nil, 0, fmt.Errorf("label %s: value not quoted", lname)
+			}
+			i++
+			var val strings.Builder
+			for {
+				if i >= len(line) {
+					return "", nil, 0, fmt.Errorf("label %s: unterminated value", lname)
+				}
+				c := line[i]
+				if c == '\\' {
+					if i+1 >= len(line) {
+						return "", nil, 0, fmt.Errorf("label %s: dangling escape", lname)
+					}
+					switch line[i+1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", nil, 0, fmt.Errorf("label %s: bad escape \\%c", lname, line[i+1])
+					}
+					i += 2
+					continue
+				}
+				if c == '"' {
+					i++
+					break
+				}
+				val.WriteByte(c)
+				i++
+			}
+			labels[lname] = val.String()
+		}
+	}
+	rest := strings.Fields(line[i:])
+	if len(rest) < 1 || len(rest) > 2 {
+		return "", nil, 0, fmt.Errorf("expected value [timestamp], got %q", strings.TrimSpace(line[i:]))
+	}
+	value, err = strconv.ParseFloat(rest[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value %q", rest[0])
+	}
+	if len(rest) == 2 {
+		if _, terr := strconv.ParseInt(rest[1], 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("bad timestamp %q", rest[1])
+		}
+	}
+	return name, labels, value, nil
+}

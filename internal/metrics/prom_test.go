@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWriteTextGolden pins the exact exposition bytes: HELP/TYPE lines,
+// label escaping, cumulative histogram buckets ending at +Inf, _sum and
+// _count, and sorted family/series order.
+func TestWriteTextGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sympack_tasks_total", `tasks run, split "cpu" vs gpu`, "op", "POTRF", "target", "cpu").Add(3)
+	r.Counter("sympack_tasks_total", `tasks run, split "cpu" vs gpu`, "op", "GEMM", "target", "gpu").Add(1)
+	r.Gauge("sympack_rtq_depth", "ready-task queue depth", MergeSum).Set(2)
+	r.Counter("sympack_odd_total", "value with\nnewline and back\\slash", "k", `quote" back\ nl
+`).Inc()
+	h := r.Histogram("sympack_task_seconds", "modeled task seconds", []float64{0.5, 2})
+	h.Observe(0.25)
+	h.Observe(0.25)
+	h.Observe(1)
+	h.Observe(10)
+
+	var b strings.Builder
+	if err := WriteText(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP sympack_odd_total value with\nnewline and back\\slash
+# TYPE sympack_odd_total counter
+sympack_odd_total{k="quote\" back\\ nl\n"} 1
+# HELP sympack_rtq_depth ready-task queue depth
+# TYPE sympack_rtq_depth gauge
+sympack_rtq_depth 2
+# HELP sympack_task_seconds modeled task seconds
+# TYPE sympack_task_seconds histogram
+sympack_task_seconds_bucket{le="0.5"} 2
+sympack_task_seconds_bucket{le="2"} 3
+sympack_task_seconds_bucket{le="+Inf"} 4
+sympack_task_seconds_sum 11.5
+sympack_task_seconds_count 4
+# HELP sympack_tasks_total tasks run, split "cpu" vs gpu
+# TYPE sympack_tasks_total counter
+sympack_tasks_total{op="GEMM",target="gpu"} 1
+sympack_tasks_total{op="POTRF",target="cpu"} 3
+`
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestValidateRoundTrip runs the validator over the encoder's own output.
+func TestValidateRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	for i, name := range []string{"a_total", "b_total", "c_total"} {
+		r.Counter(name, "help", "i", string(rune('0'+i))).Inc()
+	}
+	r.Gauge("g", "", MergeSum).Set(1.5)
+	r.Histogram("h_seconds", "hist", SecondsBuckets()).Observe(1e-5)
+	var b strings.Builder
+	if err := WriteText(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	fams, samples, err := ValidateExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("validator rejected our own exposition: %v\n%s", err, b.String())
+	}
+	if fams != 5 {
+		t.Fatalf("families = %d, want 5", fams)
+	}
+	// 3 counters + 1 gauge + (22 buckets + Inf + sum + count) = 29.
+	if samples != 29 {
+		t.Fatalf("samples = %d, want 29", samples)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad name":           "1bad_name 3\n",
+		"bad value":          "ok_metric abc\n",
+		"unquoted label":     "m{a=1} 2\n",
+		"unterminated value": "m{a=\"x} 2\n",
+		"bad escape":         "m{a=\"\\q\"} 2\n",
+		"bad type":           "# TYPE m weird\nm 1\n",
+		"missing inf bucket": "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"missing sum":        "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"trailing garbage":   "m 1 2 3\n",
+		"bad label name":     "m{9x=\"v\"} 1\n",
+		"conflicting retype": "# TYPE m counter\n# TYPE m gauge\nm 1\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ValidateExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestValidateAcceptsForeignExposition(t *testing.T) {
+	// Hand-written exposition with timestamps, comments, +Inf values and
+	// labels containing } and , — shapes other exporters emit.
+	in := `# a free comment
+# HELP up whether the target is up
+# TYPE up gauge
+up{job="api",instance="h:9100"} 1 1712000000000
+odd{lbl="a}b,c\"d"} +Inf
+# TYPE lat summary
+lat{quantile="0.5"} 0.2
+lat_sum 99
+lat_count 3
+`
+	fams, samples, err := ValidateExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fams != 3 || samples != 5 {
+		t.Fatalf("fams=%d samples=%d, want 3/5", fams, samples)
+	}
+}

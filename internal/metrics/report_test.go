@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestRunReportRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sympack_core_tasks_total", "tasks", "op", "POTRF", "target", "cpu").Add(42)
+	r.Histogram("sympack_core_task_seconds", "seconds", []float64{1e-6, 1e-3}).Observe(1e-4)
+	rep := &RunReport{
+		Command:      "sympack2d",
+		Timestamp:    "2026-08-05T00:00:00Z",
+		Matrix:       "laplace2d:64",
+		N:            4096,
+		Nnz:          20224,
+		Ranks:        4,
+		Workers:      2,
+		WallSeconds:  0.5,
+		ModelSeconds: 0.01,
+		GFlops:       12.5,
+		Metrics:      r.Snapshot().Series,
+		Figures: []Figure{{
+			Name:  "fig7",
+			Phase: "factor",
+			Points: []Point{
+				{Nodes: 1, Seconds: 2.0, Baseline: 2.0},
+				{Nodes: 4, Seconds: 0.6},
+			},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteRunReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Schema != ReportSchema {
+		t.Fatalf("schema = %q", back.Schema)
+	}
+	if back.Matrix != rep.Matrix || back.Ranks != 4 || back.GFlops != 12.5 {
+		t.Fatalf("fields lost: %+v", back)
+	}
+	if len(back.Metrics) != 2 {
+		t.Fatalf("metrics = %d series, want 2", len(back.Metrics))
+	}
+	snap := Snapshot{Series: back.Metrics}
+	if got := snap.Value("sympack_core_tasks_total", "POTRF", "cpu"); got != 42 {
+		t.Fatalf("round-tripped counter = %v, want 42", got)
+	}
+	if len(back.Figures) != 1 || len(back.Figures[0].Points) != 2 {
+		t.Fatalf("figures lost: %+v", back.Figures)
+	}
+	// Round-tripped histogram series import cleanly into a registry.
+	reg := NewRegistry()
+	reg.Import(snap)
+	if got := reg.Value("sympack_core_tasks_total", "op", "POTRF", "target", "cpu"); got != 42 {
+		t.Fatalf("imported counter = %v, want 42", got)
+	}
+}
+
+func TestReportFilename(t *testing.T) {
+	ts := time.Date(2026, 8, 5, 12, 30, 45, 0, time.UTC)
+	if got := ReportFilename("benchfig", ts); got != "BENCH_benchfig_20260805T123045Z.json" {
+		t.Fatalf("filename = %q", got)
+	}
+}

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// Server is the opt-in observability endpoint: GET /metrics serves the
+// gathered snapshot in Prometheus text format, GET /healthz the solver's
+// health report as JSON. Both callbacks run per request, so scrapes see
+// live values while a factorization is in flight.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// Serve listens on addr (host:port; ":0" picks a free port) and serves
+// until Close. gather produces the metric snapshot; health produces any
+// JSON-marshalable health payload (nil disables /healthz).
+func Serve(addr string, gather func() Snapshot, health func() any) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		var buf bytes.Buffer
+		if err := WriteText(&buf, gather()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		_, _ = w.Write(buf.Bytes())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if health == nil {
+			http.Error(w, "no health source", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(health())
+	})
+	s := &Server{lis: lis, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(lis) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolving ":0").
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

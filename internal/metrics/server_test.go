@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sympack_live_total", "live counter")
+	c.Add(5)
+	type health struct {
+		Ranks int
+		OK    bool
+	}
+	srv, err := Serve("127.0.0.1:0", r.Snapshot, func() any { return health{Ranks: 2, OK: true} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if ctype != ContentType {
+		t.Fatalf("content type = %q", ctype)
+	}
+	if !strings.Contains(body, "sympack_live_total 5") {
+		t.Fatalf("metrics body missing counter:\n%s", body)
+	}
+	if _, _, err := ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("endpoint served invalid exposition: %v", err)
+	}
+
+	// Scrapes see live values.
+	c.Add(2)
+	body, _ = get("/metrics")
+	if !strings.Contains(body, "sympack_live_total 7") {
+		t.Fatalf("second scrape not live:\n%s", body)
+	}
+
+	hbody, hctype := get("/healthz")
+	if hctype != "application/json" {
+		t.Fatalf("healthz content type = %q", hctype)
+	}
+	var h health
+	if err := json.Unmarshal([]byte(hbody), &h); err != nil {
+		t.Fatalf("healthz not JSON: %v\n%s", err, hbody)
+	}
+	if h.Ranks != 2 || !h.OK {
+		t.Fatalf("healthz payload = %+v", h)
+	}
+}

@@ -1,0 +1,238 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Label is one key=value pair on a series.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Series is the JSON-friendly snapshot of one time series. For counters
+// and gauges Value carries the reading; for histograms Bounds/Counts/Sum
+// do (Counts has one extra trailing slot for the +Inf bucket).
+type Series struct {
+	Name   string    `json:"name"`
+	Help   string    `json:"help,omitempty"`
+	Kind   string    `json:"kind"`
+	Merge  string    `json:"merge,omitempty"` // "max" for peak gauges; default sum
+	Labels []Label   `json:"labels,omitempty"`
+	Value  float64   `json:"value,omitempty"`
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []int64   `json:"counts,omitempty"`
+	Sum    float64   `json:"sum,omitempty"`
+}
+
+// key identifies a series across snapshots: family name + label values.
+func (se *Series) key() string {
+	k := se.Name
+	for _, l := range se.Labels {
+		k += "\x00" + l.Value
+	}
+	return k
+}
+
+// Snapshot is a point-in-time reading of a registry, sorted by
+// (name, label values) so iteration, encoding and reduction-vector
+// layout are deterministic.
+type Snapshot struct {
+	Series []Series `json:"series"`
+}
+
+// Snapshot reads every series atomically and returns them in sorted
+// order. Map iteration collects keys first and sorts them, per the
+// mapiterdeterminism contract.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	fams := r.fams
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	var snap Snapshot
+	for _, name := range names {
+		r.mu.Lock()
+		f := fams[name]
+		r.mu.Unlock()
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			se := Series{Name: f.name, Help: f.help, Kind: f.kind.String()}
+			if f.kind == KindGauge && f.merge == MergeMax {
+				se.Merge = "max"
+			}
+			for i, v := range s.labels {
+				se.Labels = append(se.Labels, Label{Key: f.keys[i], Value: v})
+			}
+			switch f.kind {
+			case KindHistogram:
+				se.Bounds = append([]float64(nil), f.bounds...)
+				se.Counts = make([]int64, len(s.counts))
+				for i := range s.counts {
+					se.Counts[i] = s.counts[i].Load()
+				}
+				se.Sum = math.Float64frombits(s.sumBits.Load())
+			default:
+				se.Value = s.value()
+			}
+			snap.Series = append(snap.Series, se)
+		}
+		f.mu.Unlock()
+	}
+	return snap
+}
+
+// Import folds a snapshot into the registry, creating families and series
+// as needed: counters and histograms accumulate, gauges combine per their
+// merge mode. It is the building block for merging per-rank, runtime and
+// export-time views into one registry.
+func (r *Registry) Import(snap Snapshot) {
+	for i := range snap.Series {
+		se := &snap.Series[i]
+		kv := make([]string, 0, 2*len(se.Labels))
+		for _, l := range se.Labels {
+			kv = append(kv, l.Key, l.Value)
+		}
+		switch se.Kind {
+		case "counter":
+			r.Counter(se.Name, se.Help, kv...).Add(se.Value)
+		case "gauge":
+			mode := MergeSum
+			if se.Merge == "max" {
+				mode = MergeMax
+			}
+			g := r.Gauge(se.Name, se.Help, mode, kv...)
+			if mode == MergeMax {
+				g.SetMax(se.Value)
+			} else {
+				g.Add(se.Value)
+			}
+		case "histogram":
+			h := r.Histogram(se.Name, se.Help, se.Bounds, kv...)
+			for b, n := range se.Counts {
+				if b < len(h.s.counts) {
+					h.s.counts[b].Add(n)
+				}
+			}
+			h.s.addSum(se.Sum)
+		}
+	}
+}
+
+// MergeSnapshots combines per-rank snapshots into the global view:
+// counters and histogram buckets sum, gauges sum or max per their merge
+// mode. Series present in only some snapshots pass through.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	reg := NewRegistry()
+	for _, s := range snaps {
+		reg.Import(s)
+	}
+	return reg.Snapshot()
+}
+
+// slots returns the reduction-vector length of one series.
+func seriesSlots(se *Series) int {
+	if se.Kind == "histogram" {
+		return len(se.Counts) + 1 // buckets + sum
+	}
+	return 1
+}
+
+// Vectors flattens the snapshot into two parallel reduction vectors: sum
+// carries everything that sums (counters, histogram buckets and sums,
+// sum-mode gauges), max carries the max-mode gauge values (zero
+// elsewhere, the identity for both operators). Ranks holding snapshots of
+// identically registered metrics produce identical layouts, which is what
+// lets a pair of element-wise AllReduce calls merge them.
+func (s Snapshot) Vectors() (sum, max []float64) {
+	n := 0
+	for i := range s.Series {
+		n += seriesSlots(&s.Series[i])
+	}
+	sum = make([]float64, n)
+	max = make([]float64, n)
+	at := 0
+	for i := range s.Series {
+		se := &s.Series[i]
+		switch {
+		case se.Kind == "histogram":
+			for b, c := range se.Counts {
+				sum[at+b] = float64(c)
+			}
+			sum[at+len(se.Counts)] = se.Sum
+		case se.Kind == "gauge" && se.Merge == "max":
+			max[at] = se.Value
+		default:
+			sum[at] = se.Value
+		}
+		at += seriesSlots(se)
+	}
+	return sum, max
+}
+
+// FromVectors rebuilds a merged snapshot from reduced vectors laid out by
+// Vectors on a snapshot with the same series set.
+func (s Snapshot) FromVectors(sum, max []float64) (Snapshot, error) {
+	out := Snapshot{Series: make([]Series, len(s.Series))}
+	at := 0
+	for i := range s.Series {
+		se := s.Series[i] // copy
+		w := seriesSlots(&se)
+		if at+w > len(sum) || at+w > len(max) {
+			return Snapshot{}, fmt.Errorf("metrics: reduction vector too short (%d slots, need %d)", len(sum), at+w)
+		}
+		switch {
+		case se.Kind == "histogram":
+			se.Counts = make([]int64, len(s.Series[i].Counts))
+			for b := range se.Counts {
+				se.Counts[b] = int64(sum[at+b])
+			}
+			se.Bounds = append([]float64(nil), s.Series[i].Bounds...)
+			se.Sum = sum[at+len(se.Counts)]
+		case se.Kind == "gauge" && se.Merge == "max":
+			se.Value = max[at]
+		default:
+			se.Value = sum[at]
+		}
+		out.Series[i] = se
+		at += w
+	}
+	if at != len(sum) || at != len(max) {
+		return Snapshot{}, fmt.Errorf("metrics: reduction vector length %d, snapshot needs %d", len(sum), at)
+	}
+	return out, nil
+}
+
+// Value returns the reading of a counter or gauge series in the snapshot,
+// or 0 when absent. Label values are matched in order.
+func (s Snapshot) Value(name string, labelValues ...string) float64 {
+	for i := range s.Series {
+		se := &s.Series[i]
+		if se.Name != name || len(se.Labels) != len(labelValues) {
+			continue
+		}
+		ok := true
+		for j, l := range se.Labels {
+			if l.Value != labelValues[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return se.Value
+		}
+	}
+	return 0
+}

@@ -13,6 +13,14 @@ import (
 // order with matching arguments, as in UPC++.
 
 // collective state lives on the runtime, guarded by its own lock.
+//
+// buf/rbuf are entry-time staging (broadcast source, reduction
+// accumulator); res is the published result of the most recently completed
+// generation. Waiters read only res: a rank that finishes generation g and
+// immediately enters generation g+1 overwrites the staging buffers, but
+// g+1 cannot complete — and res cannot be republished — until every
+// generation-g waiter has copied its result and left, because those
+// waiters are among the P ranks g+1 needs.
 type collectiveState struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
@@ -20,6 +28,7 @@ type collectiveState struct {
 	count int
 	buf   []float64
 	rbuf  []float64
+	res   []float64
 }
 
 func (rt *Runtime) coll() *collectiveState {
@@ -39,9 +48,11 @@ func (r *Rank) Broadcast(root int, data []float64) error {
 	if r.ID == root {
 		cs.buf = append(cs.buf[:0], data...)
 	}
-	err := r.collWaitLocked(cs)
+	err := r.collWaitLocked(cs, func() {
+		cs.res = append(cs.res[:0], cs.buf...)
+	})
 	if err == nil && r.ID != root {
-		copy(data, cs.buf)
+		copy(data, cs.res)
 	}
 	cs.mu.Unlock()
 	r.chargeCollective(len(data))
@@ -73,24 +84,29 @@ func (r *Rank) AllReduce(op ReduceOp, data []float64) error {
 			cs.rbuf[i] = op(cs.rbuf[i], data[i])
 		}
 	}
-	err := r.collWaitLocked(cs)
+	err := r.collWaitLocked(cs, func() {
+		cs.res = append(cs.res[:0], cs.rbuf...)
+	})
 	if err == nil {
-		copy(data, cs.rbuf)
+		copy(data, cs.res)
 	}
 	cs.mu.Unlock()
 	r.chargeCollective(len(data))
 	return err
 }
 
-// collWaitLocked implements the rendezvous: the last arriving rank releases
-// the generation; later collectives reuse the state. cs.mu must be held.
-func (r *Rank) collWaitLocked(cs *collectiveState) error {
+// collWaitLocked implements the rendezvous: the last arriving rank runs
+// publish (moving the generation's staging buffer into cs.res, where it is
+// safe from the next collective's entry-time writes) and releases the
+// generation; later collectives reuse the state. cs.mu must be held.
+func (r *Rank) collWaitLocked(cs *collectiveState, publish func()) error {
 	if r.rt.ShouldAbort() {
 		return ErrAborted
 	}
 	gen := cs.gen
 	cs.count++
 	if cs.count == r.rt.P() {
+		publish()
 		cs.count = 0
 		cs.gen++
 		cs.cond.Broadcast()

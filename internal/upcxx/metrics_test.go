@@ -1,0 +1,129 @@
+package upcxx
+
+import (
+	"math"
+	"testing"
+
+	"sympack/internal/metrics"
+)
+
+// TestReduceSnapshotMergesSumAndMax checks the cross-rank aggregation
+// protocol end to end: counters, histogram buckets/sums and sum-mode
+// gauges add across ranks, max-mode gauges take the maximum, and every
+// rank receives the same merged view.
+func TestReduceSnapshotMergesSumAndMax(t *testing.T) {
+	const p = 4
+	rt := newRT(t, p)
+	err := rt.Run(func(r *Rank) {
+		reg := metrics.NewRegistry()
+		reg.Counter("test_ops_total", "per-rank op count").Add(float64(r.ID + 1))
+		reg.Gauge("test_depth", "occupancy", metrics.MergeSum).Set(1)
+		reg.Gauge("test_peak", "high-water", metrics.MergeMax).Set(float64(10 * r.ID))
+		reg.Histogram("test_seconds", "modeled time", metrics.ExpBuckets(1, 2, 4)).
+			Observe(float64(r.ID) + 0.5)
+
+		merged, err := r.ReduceSnapshot(reg.Snapshot())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Σ (id+1) over 0..3 = 10; Σ 1 = 4; max 10·id = 30.
+		if v := merged.Value("test_ops_total"); v != 10 {
+			t.Errorf("rank %d: ops = %g, want 10", r.ID, v)
+		}
+		if v := merged.Value("test_depth"); v != p {
+			t.Errorf("rank %d: depth = %g, want %d", r.ID, v, p)
+		}
+		if v := merged.Value("test_peak"); v != 30 {
+			t.Errorf("rank %d: peak = %g, want 30", r.ID, v)
+		}
+		for i := range merged.Series {
+			se := &merged.Series[i]
+			if se.Name != "test_seconds" {
+				continue
+			}
+			// Observations 0.5, 1.5, 2.5, 3.5 over bounds 1,2,4,8:
+			// buckets [1 1 2 0 0], sum 8.
+			want := []int64{1, 1, 2, 0, 0}
+			if len(se.Counts) != len(want) {
+				t.Errorf("rank %d: %d buckets, want %d", r.ID, len(se.Counts), len(want))
+				return
+			}
+			for b := range want {
+				if se.Counts[b] != want[b] {
+					t.Errorf("rank %d: bucket %d = %d, want %d", r.ID, b, se.Counts[b], want[b])
+				}
+			}
+			if math.Abs(se.Sum-8) > 1e-12 {
+				t.Errorf("rank %d: sum = %g, want 8", r.ID, se.Sum)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllReduceBackToBack is the regression test for the collective
+// staging-buffer race: the last arriver of one AllReduce could enter the
+// next AllReduce and overwrite the shared accumulator before the first
+// call's waiters had copied their result, handing them the second
+// reduction's values. ReduceSnapshot's sum-then-max pair is exactly this
+// shape, so the test hammers back-to-back reductions with distinguishable
+// operands.
+func TestAllReduceBackToBack(t *testing.T) {
+	const p = 8
+	rt := newRT(t, p)
+	err := rt.Run(func(r *Rank) {
+		for round := 0; round < 200; round++ {
+			sum := []float64{float64(r.ID + 1)}
+			if err := r.AllReduce(OpSum, sum); err != nil {
+				t.Error(err)
+				return
+			}
+			max := []float64{float64(1000 + r.ID)}
+			if err := r.AllReduce(OpMax, max); err != nil {
+				t.Error(err)
+				return
+			}
+			if sum[0] != 36 { // Σ 1..8
+				t.Errorf("rank %d round %d: sum = %g, want 36", r.ID, round, sum[0])
+				return
+			}
+			if max[0] != 1007 {
+				t.Errorf("rank %d round %d: max = %g, want 1007", r.ID, round, max[0])
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExportStatsFreshRegistry checks that exporting into a fresh
+// registry twice yields identical values (no accumulation inside the
+// runtime), the property gather-time callers rely on to avoid
+// double-counting.
+func TestExportStatsFreshRegistry(t *testing.T) {
+	rt := newRT(t, 2)
+	err := rt.Run(func(r *Rank) {
+		if r.ID != 0 {
+			return
+		}
+		fut := r.Rput(make([]float64, 32), r.NewArray(32))
+		fut.Wait()
+		if err := fut.Err(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := metrics.NewRegistry(), metrics.NewRegistry()
+	rt.ExportStats(a)
+	rt.ExportStats(b)
+	if va, vb := a.Value("sympack_upcxx_rma_puts_total"), b.Value("sympack_upcxx_rma_puts_total"); va != vb || va == 0 {
+		t.Fatalf("export not idempotent: %g vs %g", va, vb)
+	}
+}

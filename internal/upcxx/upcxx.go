@@ -28,6 +28,7 @@ import (
 	"sympack/internal/faults"
 	"sympack/internal/gpu"
 	"sympack/internal/machine"
+	"sympack/internal/metrics"
 	"sympack/internal/simnet"
 	"sympack/internal/trace"
 )
@@ -73,6 +74,11 @@ type Runtime struct {
 	collSt   *collectiveState
 
 	Stats Stats
+
+	// reg/met are the runtime's live metric registry and hot-path handles
+	// (see metrics.go); created unconditionally by NewRuntime.
+	reg *metrics.Registry
+	met *rtMetrics
 }
 
 // Stats aggregates communication counters across the job; all fields are
@@ -115,13 +121,16 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		cfg: cfg,
 		net: simnet.New(cfg.Machine),
 		bar: newBarrier(cfg.Ranks),
+		reg: metrics.NewRegistry(),
 	}
+	rt.met = newRTMetrics(rt.reg)
 	nodes := (cfg.Ranks + cfg.RanksPerNode - 1) / cfg.RanksPerNode
 	if cfg.GPUsPerNode > 0 {
 		rt.devices = make([]*gpu.Device, nodes*cfg.GPUsPerNode)
 		for i := range rt.devices {
 			rt.devices[i] = gpu.NewDevice(i, cfg.Machine, cfg.DeviceCapacity)
 			rt.devices[i].SetFaults(cfg.Faults)
+			rt.devices[i].SetMetrics(rt.reg)
 		}
 	}
 	rt.ranks = make([]*Rank, cfg.Ranks)
@@ -422,6 +431,10 @@ func (r *Rank) Progress() int {
 	for _, fn := range q {
 		fn(r)
 	}
+	r.rt.met.progressIters.Inc()
+	if len(q) > 0 {
+		r.rt.met.signalsReceived.Add(float64(len(q)))
+	}
 	return len(q)
 }
 
@@ -505,7 +518,11 @@ func (r *Rank) Rget(src GlobalPtr, dst []float64) Future {
 	copy(dst, src.Data)
 	same := src.Rank == int32(r.ID)
 	p := r.rt.net.Classify(src.Kind, simnet.Host, same, r.sameNode(src.Rank))
-	return Future{seconds: extra + r.account(p, int64(len(dst)*8), r.sameNode(src.Rank))}
+	bytes := int64(len(dst) * 8)
+	sec := extra + r.account(p, bytes, r.sameNode(src.Rank))
+	r.rt.met.rgetBytes.Observe(float64(bytes))
+	r.rt.met.rgetSeconds.Observe(sec)
+	return Future{seconds: sec}
 }
 
 // Rput copies local host data into a (possibly remote) destination —

@@ -22,6 +22,7 @@ package sympack
 
 import (
 	"io"
+	"time"
 
 	"sympack/internal/baseline"
 	"sympack/internal/core"
@@ -30,6 +31,7 @@ import (
 	"sympack/internal/gpu"
 	"sympack/internal/machine"
 	"sympack/internal/matrix"
+	"sympack/internal/metrics"
 	"sympack/internal/ordering"
 	"sympack/internal/symbolic"
 	"sympack/internal/trace"
@@ -201,6 +203,38 @@ type BaselineFactor = baseline.Factor
 func FactorizeBaseline(a *Matrix, ord ordering.Kind) (*BaselineFactor, error) {
 	return baseline.Factorize(a, baseline.Options{Ordering: ord})
 }
+
+// ------------------------------------------------------------- metrics ----
+
+// MetricsRegistry is a typed metric registry (counters, gauges, fixed-
+// bucket histograms); Factor.Metrics holds the merged job-wide registry of
+// a completed factorization. Set Options.MetricsAddr to also serve it over
+// HTTP while the run executes.
+type MetricsRegistry = metrics.Registry
+
+// MetricsSnapshot is a point-in-time, JSON-friendly reading of a registry.
+type MetricsSnapshot = metrics.Snapshot
+
+// RunReport is the machine-readable summary of one solver run
+// (BENCH_<cmd>_<ts>.json); see WriteRunReport.
+type RunReport = metrics.RunReport
+
+// MetricsFigure is one benchmark curve inside a RunReport.
+type MetricsFigure = metrics.Figure
+
+// MetricsPoint is one (node count, seconds) sample of a MetricsFigure.
+type MetricsPoint = metrics.Point
+
+// WriteMetricsText writes a snapshot in Prometheus text exposition format
+// (v0.0.4), the same bytes the /metrics endpoint serves.
+func WriteMetricsText(w io.Writer, snap MetricsSnapshot) error { return metrics.WriteText(w, snap) }
+
+// WriteRunReport writes a run report as indented JSON.
+func WriteRunReport(w io.Writer, rep *RunReport) error { return metrics.WriteRunReport(w, rep) }
+
+// ReportFilename returns the canonical BENCH_<cmd>_<ts>.json name for a
+// run report written at t.
+func ReportFilename(cmd string, t time.Time) string { return metrics.ReportFilename(cmd, t) }
 
 // TraceRecorder records per-task execution events; pass one via
 // Options.Trace and export with WriteChromeTrace.
