@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -87,6 +88,16 @@ type Options struct {
 	// decision, so chaos runs are reproducible. The solve phase reuses the
 	// plan through a restricted injector (see SolveDistributed).
 	Faults *faults.Plan
+	// Context, when non-nil, bounds the factorization (and context-aware
+	// solves): when it is canceled or its deadline expires, every rank
+	// stops pulling new tasks and the call returns an error wrapping
+	// ErrCanceled. Checks happen at task-pull boundaries, so the latency
+	// from cancellation to return is one task execution, not one job.
+	// Nil means no externally imposed bound (the stall watchdog still
+	// applies). The context is consulted only during the call it
+	// configures; long-lived holders of Options (caches, servers) should
+	// clear it before reuse.
+	Context context.Context
 	// MetricsAddr, when non-empty, serves the live metrics registry over
 	// HTTP for the duration of the factorization and afterwards (until
 	// Factor.CloseMetrics): GET /metrics returns the Prometheus text
@@ -291,6 +302,11 @@ func Factorize(a *matrix.SparseSym, opt Options) (*Factor, error) {
 // the pattern of the paper's PEXSI use case (§5.3).
 func FactorizeAnalyzed(st *symbolic.Structure, pa *matrix.SparseSym, opt Options) (*Factor, error) {
 	opt = opt.withDefaults()
+	if ctx := opt.Context; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCanceled, err)
+		}
+	}
 	tg := symbolic.BuildTaskGraph(st)
 	m2d := blockMapFor(opt.Mapping, opt.Ranks)
 
@@ -348,11 +364,13 @@ func FactorizeAnalyzed(st *symbolic.Structure, pa *matrix.SparseSym, opt Options
 			func() metrics.Snapshot {
 				return gatherLive(&engMu, engines, rt, inj, opt.Trace)
 			},
-			func() any {
+			func() (any, bool) {
 				engMu.Lock()
 				rep := snapshotHealth(engines, rt)
 				engMu.Unlock()
-				return rep
+				// An aborting job is not healthy: probes see 503 with
+				// the diagnosis body as soon as the first rank fails.
+				return rep, !rt.ShouldAbort()
 			})
 		if err != nil {
 			return nil, fmt.Errorf("core: metrics endpoint: %w", err)

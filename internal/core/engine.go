@@ -381,6 +381,25 @@ func (e *engine) pop() (task, bool) {
 	return t, true
 }
 
+// checkCanceled consults Options.Context at a task-pull boundary. On
+// cancellation it fails the runtime with an ErrCanceled-wrapped error
+// (first failure wins, so concurrent detections collapse to one) and
+// returns true; the caller's scheduling loop then exits and the abort
+// propagates to every other rank through ShouldAbort. Runs without e.mu.
+func (e *engine) checkCanceled() bool {
+	ctx := e.opt.Context
+	if ctx == nil {
+		return false
+	}
+	err := ctx.Err()
+	if err == nil {
+		return false
+	}
+	e.met.cancelChecks.Inc()
+	e.r.Runtime().Fail(fmt.Errorf("%w: rank %d: %v", ErrCanceled, e.r.ID, err))
+	return true
+}
+
 // factorLoop is the sequential (Workers == 1) scheduling loop of paper
 // Fig. 3: poll for incoming notifications, then run a ready task; repeat
 // until all local tasks are done or the job aborts. When the rank idles
@@ -393,6 +412,9 @@ func (e *engine) factorLoop() {
 	idle := 0
 	for {
 		if rt.ShouldAbort() {
+			return
+		}
+		if e.checkCanceled() {
 			return
 		}
 		e.poll()
@@ -447,6 +469,9 @@ func (e *engine) drainUntil(progress *atomic.Int64, total int64) {
 	rt := e.r.Runtime()
 	idle := 0
 	for progress.Load() < total && !rt.ShouldAbort() {
+		if e.checkCanceled() {
+			return
+		}
 		e.r.Progress()
 		idle++
 		if idle > 256 {

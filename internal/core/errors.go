@@ -27,6 +27,14 @@ var (
 	// source blocks after exercising the re-request protocol — the
 	// signature of irrecoverably lost announcements (or a dead producer).
 	ErrLostSignal = errors.New("core: lost signal")
+
+	// ErrCanceled is returned when a factorization or solve is abandoned
+	// because Options.Context was canceled or its deadline expired.
+	// Cancellation is cooperative: every scheduling loop checks the
+	// context at its task-pull boundary, so in-flight kernels finish but
+	// no new task starts. A canceled factorization returns no Factor;
+	// the analysis it consumed remains valid for a retry.
+	ErrCanceled = errors.New("core: canceled")
 )
 
 // FaultStats aggregates the fault-injection and recovery counters of one

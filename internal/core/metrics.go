@@ -47,6 +47,7 @@ type coreMetrics struct {
 	backoffWaits  *metrics.Counter
 	workerWaits   *metrics.Counter
 	fetchFailures *metrics.Counter
+	cancelChecks  *metrics.Counter
 
 	// GPU offload economics (engine-side; device-side series live in the
 	// runtime registry).
@@ -102,6 +103,8 @@ func newCoreMetrics(reg *metrics.Registry) *coreMetrics {
 		"worker-pool waits on an empty ready queue")
 	m.fetchFailures = reg.Counter("sympack_core_fetch_failures_total",
 		"block fetches whose transfer retry budget ran out")
+	m.cancelChecks = reg.Counter("sympack_core_cancel_detections_total",
+		"scheduling loops that observed a canceled context and stopped")
 	m.gpuDemotions = reg.Counter("sympack_gpu_demotions_total",
 		"ranks demoted to CPU kernels after device failure")
 	m.allocRetries = reg.Counter("sympack_gpu_alloc_retries_total",

@@ -163,6 +163,10 @@ func TestMetricsEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// A completed (non-aborted) factorization is ready: 200, JSON body.
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d, want 200 on a healthy job", resp.StatusCode)
+	}
 	var health any
 	if err := json.Unmarshal(hb, &health); err != nil {
 		t.Fatalf("healthz not JSON: %v\n%s", err, hb)

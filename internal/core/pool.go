@@ -73,6 +73,14 @@ func (e *engine) workerLoop(lane int32) {
 		e.inflight++
 		e.mu.Unlock()
 
+		// Task-pull boundary: a canceled context stops the worker before
+		// the kernel starts, not after.
+		if e.checkCanceled() {
+			e.mu.Lock()
+			e.inflight--
+			e.mu.Unlock()
+			return
+		}
 		e.execute(t, lane)
 
 		e.mu.Lock()
@@ -100,6 +108,9 @@ func (e *engine) progressLoop() {
 	idle := 0
 	for {
 		if rt.ShouldAbort() {
+			return
+		}
+		if e.checkCanceled() {
 			return
 		}
 		e.poll()

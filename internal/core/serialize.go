@@ -86,12 +86,24 @@ func LoadFactor(r io.Reader) (*Factor, error) {
 	n := int(header[2])
 	nsn := int(header[3])
 	nblk := int(header[4])
-	if n < 0 || nsn < 0 || nblk < nsn {
+	// Indices are int32 throughout the format, so anything larger is not a
+	// size a valid writer can have produced — reject before allocating.
+	const maxDim = int(^uint32(0) >> 1)
+	if n < 0 || n > maxDim || nsn < 0 || nsn > n || nblk < nsn || nblk > maxDim {
 		return nil, fmt.Errorf("core: corrupt factor sizes n=%d nsn=%d nblk=%d", n, nsn, nblk)
 	}
 	st := &symbolic.Structure{N: n, Perm: make([]int32, n)}
 	if err := binary.Read(br, binary.LittleEndian, st.Perm); err != nil {
 		return nil, fmt.Errorf("core: factor perm: %w", err)
+	}
+	// Perm must be a permutation of 0..n-1: the solve indexes right-hand
+	// sides through it unguarded.
+	seen := make([]bool, n)
+	for i, p := range st.Perm {
+		if p < 0 || int(p) >= n || seen[p] {
+			return nil, fmt.Errorf("core: factor perm entry %d corrupt (%d)", i, p)
+		}
+		seen[p] = true
 	}
 	st.Snodes = make([]symbolic.Supernode, nsn)
 	st.SnOf = make([]int32, n)
@@ -107,9 +119,20 @@ func LoadFactor(r io.Reader) (*Factor, error) {
 		if sn.FirstCol < 0 || sn.LastCol < sn.FirstCol || int(sn.LastCol) >= n {
 			return nil, fmt.Errorf("core: supernode %d range corrupt", k)
 		}
+		// A supernode's row list starts with its own columns (so at least
+		// NCols entries) and indexes global rows (so at most n entries);
+		// anything else would panic the tree rebuild or the solve.
+		if dims[2] > uint64(n) || int(dims[2]) < sn.NCols() {
+			return nil, fmt.Errorf("core: supernode %d row count %d corrupt", k, dims[2])
+		}
 		sn.Rows = make([]int32, dims[2])
 		if err := binary.Read(br, binary.LittleEndian, sn.Rows); err != nil {
 			return nil, fmt.Errorf("core: supernode %d rows: %w", k, err)
+		}
+		for _, r := range sn.Rows {
+			if r < 0 || int(r) >= n {
+				return nil, fmt.Errorf("core: supernode %d row %d out of range", k, r)
+			}
 		}
 		for c := sn.FirstCol; c <= sn.LastCol; c++ {
 			st.SnOf[c] = int32(k)
@@ -128,6 +151,13 @@ func LoadFactor(r io.Reader) (*Factor, error) {
 		b.Snode, b.RowSn, b.RowOff, b.NRows = vals[0], vals[1], vals[2], vals[3]
 		if b.Snode < prevSn || int(b.Snode) >= nsn {
 			return nil, fmt.Errorf("core: block %d owner order corrupt", bi)
+		}
+		// The block's row window must lie inside its supernode's row list
+		// (the solve slices Rows[RowOff:RowOff+NRows]) and its row-owner
+		// supernode must exist.
+		if b.RowSn < 0 || int(b.RowSn) >= nsn || b.RowOff < 0 || b.NRows < 0 ||
+			int(b.RowOff)+int(b.NRows) > len(st.Snodes[b.Snode].Rows) {
+			return nil, fmt.Errorf("core: block %d extents corrupt", bi)
 		}
 		for sn := prevSn + 1; sn <= b.Snode; sn++ {
 			st.BlockPtr[sn] = int32(bi)

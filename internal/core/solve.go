@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -20,12 +21,42 @@ func (f *Factor) Solve(b []float64) ([]float64, error) {
 
 // SolveMulti solves A·X = B for multiple right-hand sides.
 func (f *Factor) SolveMulti(bs [][]float64) ([][]float64, error) {
+	return f.SolveMultiCtx(nil, bs)
+}
+
+// SolveCtx is Solve bounded by a context: between the substitution phases
+// (and between right-hand sides in the batched form) the context is
+// consulted, and a canceled or expired one aborts the solve with an error
+// wrapping ErrCanceled. A nil context means no bound.
+func (f *Factor) SolveCtx(ctx context.Context, b []float64) ([]float64, error) {
+	x, err := f.SolveMultiCtx(ctx, [][]float64{b})
+	if err != nil {
+		return nil, err
+	}
+	return x[0], nil
+}
+
+// SolveMultiCtx solves A·X = B for multiple right-hand sides under a
+// context; see SolveCtx for the cancellation contract.
+func (f *Factor) SolveMultiCtx(ctx context.Context, bs [][]float64) ([][]float64, error) {
 	st := f.St
 	n := st.N
+	canceled := func() error {
+		if ctx == nil {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %v", ErrCanceled, err)
+		}
+		return nil
+	}
 	out := make([][]float64, len(bs))
 	for ri, b := range bs {
 		if len(b) != n {
 			return nil, fmt.Errorf("core: rhs %d has length %d, want %d", ri, len(b), n)
+		}
+		if err := canceled(); err != nil {
+			return nil, err
 		}
 		// Permute into factor ordering: y[k] = b[perm[k]].
 		y := make([]float64, n)
@@ -33,6 +64,9 @@ func (f *Factor) SolveMulti(bs [][]float64) ([][]float64, error) {
 			y[k] = b[st.Perm[k]]
 		}
 		f.forward(y)
+		if err := canceled(); err != nil {
+			return nil, err
+		}
 		f.backward(y)
 		// Permute back.
 		x := make([]float64, n)

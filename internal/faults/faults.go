@@ -51,6 +51,24 @@ const (
 	// themselves to CPU kernels.
 	DeviceFail
 
+	// The server classes model client- and cache-side misbehaviour against
+	// sympackd rather than runtime faults inside a factorization. The
+	// "actor" of their decision streams is a request sequence number, not
+	// a rank. They are excluded from the "all" pseudo-class: "all" means
+	// every transient fault a factorization must absorb, and these target
+	// the service layer above it.
+
+	// SlowClient holds an admitted request for a while before serving it,
+	// simulating a client that trickles its body or a stalled upstream —
+	// the load pattern that exhausts admission capacity.
+	SlowClient
+	// CanceledRequest cancels an admitted request's context mid-flight,
+	// exercising the cooperative-cancellation path end to end.
+	CanceledRequest
+	// CacheThrash force-evicts the cache entries a request would have hit,
+	// simulating budget pressure from competing patterns.
+	CacheThrash
+
 	// NumClasses is the number of fault classes.
 	NumClasses
 )
@@ -63,6 +81,15 @@ var classNames = [NumClasses]string{
 	TransientOOM:      "oom",
 	RankStall:         "stall",
 	DeviceFail:        "devfail",
+	SlowClient:        "slowclient",
+	CanceledRequest:   "cancelreq",
+	CacheThrash:       "cachethrash",
+}
+
+// IsServerClass reports whether c targets the service layer (sympackd)
+// rather than the factorization runtime.
+func IsServerClass(c Class) bool {
+	return c == SlowClient || c == CanceledRequest || c == CacheThrash
 }
 
 func (c Class) String() string {
@@ -136,12 +163,25 @@ func DefaultChaos(seed int64) Plan {
 	return p
 }
 
+// ServerChaos returns a moderate plan over the server fault classes, the
+// counterpart of DefaultChaos for sympackd's request path: slow clients,
+// mid-flight cancellations and cache thrashing, all deterministic in the
+// seed and the request sequence number.
+func ServerChaos(seed int64) Plan {
+	p := Plan{Seed: seed}
+	p.Rate[SlowClient] = 0.10
+	p.Rate[CanceledRequest] = 0.05
+	p.Rate[CacheThrash] = 0.05
+	return p
+}
+
 // Parse builds a Plan from a comma-separated spec like
 //
 //	drop=0.02,dup=0.02,delay=0.05,transfer=0.02,oom=0.05,stall=0.002
 //
 // Each entry is class=rate or class=rate/limit; the pseudo-class "all"
-// applies a rate to every transient class (everything except devfail).
+// applies a rate to every transient runtime class (everything except
+// devfail and the server classes, which are opted into by name).
 func Parse(spec string, seed int64) (Plan, error) {
 	p := Plan{Seed: seed}
 	for _, part := range strings.Split(spec, ",") {
@@ -171,7 +211,7 @@ func Parse(spec string, seed int64) (Plan, error) {
 		name := strings.ToLower(strings.TrimSpace(kv[0]))
 		if name == "all" {
 			for c := Class(0); c < NumClasses; c++ {
-				if c == DeviceFail {
+				if c == DeviceFail || IsServerClass(c) {
 					continue
 				}
 				p.Rate[c], p.Limit[c] = rate, limit
@@ -187,7 +227,7 @@ func Parse(spec string, seed int64) (Plan, error) {
 			}
 		}
 		if !found {
-			return Plan{}, fmt.Errorf("faults: unknown class %q (have drop dup delay transfer oom stall devfail all)", name)
+			return Plan{}, fmt.Errorf("faults: unknown class %q (have drop dup delay transfer oom stall devfail slowclient cancelreq cachethrash all)", name)
 		}
 	}
 	return p, nil
@@ -388,6 +428,32 @@ func (in *Injector) StallWindow(rank int) time.Duration {
 		return 0
 	}
 	return in.plan.StallWindow
+}
+
+// SlowClientDelay returns a non-zero hold duration when the request should
+// be served as if its client were slow. The delay is shaped from the
+// decision hash: 1–8 stall windows, so a chaos run sees a spread of client
+// speeds rather than one fixed latency.
+func (in *Injector) SlowClientDelay(req int) time.Duration {
+	hit, h := in.roll(SlowClient, req)
+	if !hit {
+		return 0
+	}
+	return in.plan.StallWindow * time.Duration(1+(h>>23)%8)
+}
+
+// CanceledRequest reports whether the request's context should be canceled
+// mid-flight.
+func (in *Injector) CanceledRequest(req int) bool {
+	hit, _ := in.roll(CanceledRequest, req)
+	return hit
+}
+
+// CacheThrash reports whether the cache entries the request would hit
+// should be force-evicted first.
+func (in *Injector) CacheThrash(req int) bool {
+	hit, _ := in.roll(CacheThrash, req)
+	return hit
 }
 
 // Counts renders all non-zero injection counters, for reports.

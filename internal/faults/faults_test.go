@@ -163,12 +163,74 @@ func TestParseAll(t *testing.T) {
 	}
 	for c := Class(0); c < NumClasses; c++ {
 		want := 0.1
-		if c == DeviceFail {
-			want = 0 // devfail is opt-in only
+		if c == DeviceFail || IsServerClass(c) {
+			want = 0 // devfail and the server classes are opt-in only
 		}
 		if p.Rate[c] != want {
 			t.Fatalf("class %v rate = %g, want %g", c, p.Rate[c], want)
 		}
+	}
+}
+
+func TestParseServerClasses(t *testing.T) {
+	p, err := Parse("slowclient=0.2,cancelreq=0.1/5,cachethrash=1", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rate[SlowClient] != 0.2 || p.Rate[CanceledRequest] != 0.1 ||
+		p.Limit[CanceledRequest] != 5 || p.Rate[CacheThrash] != 1 {
+		t.Fatalf("parsed %+v", p)
+	}
+	back, err := Parse(p.String(), 9)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", p.String(), err)
+	}
+	if back != p {
+		t.Fatalf("round trip: %+v vs %+v", back, p)
+	}
+}
+
+func TestServerInjections(t *testing.T) {
+	var p Plan
+	p.Rate[SlowClient] = 1
+	p.Rate[CanceledRequest] = 1
+	p.Rate[CacheThrash] = 1
+	in := New(p, 1)
+	for req := 0; req < 100; req++ {
+		d := in.SlowClientDelay(req)
+		if d < in.plan.StallWindow || d > 8*in.plan.StallWindow {
+			t.Fatalf("slow-client delay %v outside [1,8] stall windows", d)
+		}
+		if !in.CanceledRequest(req) || !in.CacheThrash(req) {
+			t.Fatalf("rate-1 server fault missed at request %d", req)
+		}
+	}
+	if in.Count(SlowClient) != 100 || in.Count(CanceledRequest) != 100 || in.Count(CacheThrash) != 100 {
+		t.Fatalf("server counts = %d/%d/%d", in.Count(SlowClient), in.Count(CanceledRequest), in.Count(CacheThrash))
+	}
+	// A nil injector answers "no fault" for the server classes too.
+	var nilIn *Injector
+	if nilIn.SlowClientDelay(0) != 0 || nilIn.CanceledRequest(0) || nilIn.CacheThrash(0) {
+		t.Fatal("nil injector must not inject server faults")
+	}
+}
+
+func TestServerChaosPlan(t *testing.T) {
+	p := ServerChaos(11)
+	if !p.Active() {
+		t.Fatal("server chaos must be active")
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		if p.Rate[c] > 0 && !IsServerClass(c) {
+			t.Fatalf("server chaos enables runtime class %v", c)
+		}
+	}
+	back, err := Parse(p.String(), 11)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", p.String(), err)
+	}
+	if back != p {
+		t.Fatalf("round trip: %+v vs %+v", back, p)
 	}
 }
 

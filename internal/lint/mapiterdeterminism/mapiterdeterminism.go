@@ -36,6 +36,12 @@ var deterministicPackages = map[string]bool{
 	"sympack/internal/blas":     true,
 	"sympack/internal/des":      true,
 	"sympack/internal/metrics":  true,
+	// The service layer: cache iteration order must never decide what is
+	// evicted or reported, and loadgen's taxonomy output must be stable
+	// across runs for diffable reports.
+	"sympack/internal/server": true,
+	"sympack/cmd/sympackd":    true,
+	"sympack/cmd/loadgen":     true,
 }
 
 var Analyzer = &analysis.Analyzer{

@@ -4,11 +4,16 @@
 // aggregation helpers and a machine-readable run-report schema.
 //
 // Determinism contract. Histogram bucket bounds are fixed at registration
-// (log-spaced, see ExpBuckets), and instrumentation sites observe only
-// modeled quantities — virtual-clock seconds from the machine model, byte
-// or element sizes — never host wall-clock durations, so bucket counts
-// are bit-identical across worker and rank counts for a fixed seeded
-// problem. Wall-time quantities may only feed counters and gauges.
+// (log-spaced, see ExpBuckets), and in the solver namespaces
+// (sympack_core_*, sympack_upcxx_*, sympack_gpu_*, sympack_faults_*)
+// instrumentation sites observe only modeled quantities — virtual-clock
+// seconds from the machine model, byte or element sizes — never host
+// wall-clock durations, so bucket counts are bit-identical across worker
+// and rank counts for a fixed seeded problem; wall-time quantities may
+// only feed counters and gauges there. The sympack_server_* namespace
+// (ServerMetrics) is the documented exception: request-latency histograms
+// are service telemetry observing wall seconds, are never merged across
+// ranks, and make no determinism claim.
 // Snapshots emit families and series in sorted (name, label-values)
 // order, so the encoded exposition and the reduction vectors built from a
 // snapshot are deterministic too; the package sits in the wallclock and

@@ -18,8 +18,11 @@ type Server struct {
 
 // Serve listens on addr (host:port; ":0" picks a free port) and serves
 // until Close. gather produces the metric snapshot; health produces any
-// JSON-marshalable health payload (nil disables /healthz).
-func Serve(addr string, gather func() Snapshot, health func() any) (*Server, error) {
+// JSON-marshalable health payload plus a readiness verdict (nil disables
+// /healthz). A false verdict serves the payload with 503 Service
+// Unavailable — the real readiness signal load balancers and probes key
+// on — instead of the former unconditional 200.
+func Serve(addr string, gather func() Snapshot, health func() (any, bool)) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -34,19 +37,30 @@ func Serve(addr string, gather func() Snapshot, health func() any) (*Server, err
 		w.Header().Set("Content-Type", ContentType)
 		_, _ = w.Write(buf.Bytes())
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/healthz", HealthHandler(health))
+	s := &Server{lis: lis, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(lis) }()
+	return s, nil
+}
+
+// HealthHandler adapts a health callback into an http.HandlerFunc with the
+// /healthz contract described on Serve, so daemons that run their own mux
+// (sympackd) expose the identical endpoint.
+func HealthHandler(health func() (any, bool)) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
 		if health == nil {
 			http.Error(w, "no health source", http.StatusNotFound)
 			return
 		}
+		body, ready := health()
 		w.Header().Set("Content-Type", "application/json")
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(health())
-	})
-	s := &Server{lis: lis, srv: &http.Server{Handler: mux}}
-	go func() { _ = s.srv.Serve(lis) }()
-	return s, nil
+		_ = enc.Encode(body)
+	}
 }
 
 // Addr returns the bound listen address (resolving ":0").

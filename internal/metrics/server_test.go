@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -16,7 +17,12 @@ func TestServerEndpoints(t *testing.T) {
 		Ranks int
 		OK    bool
 	}
-	srv, err := Serve("127.0.0.1:0", r.Snapshot, func() any { return health{Ranks: 2, OK: true} })
+	var ready atomic.Bool
+	ready.Store(true)
+	srv, err := Serve("127.0.0.1:0", r.Snapshot, func() (any, bool) {
+		ok := ready.Load()
+		return health{Ranks: 2, OK: ok}, ok
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,5 +72,33 @@ func TestServerEndpoints(t *testing.T) {
 	}
 	if h.Ranks != 2 || !h.OK {
 		t.Fatalf("healthz payload = %+v", h)
+	}
+
+	// A degraded health source turns /healthz into a 503 with the JSON
+	// body intact, and recovery restores 200 — the readiness contract.
+	ready.Store(false)
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body503, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded healthz status = %d, want 503", resp.StatusCode)
+	}
+	var hd health
+	if err := json.Unmarshal(body503, &hd); err != nil {
+		t.Fatalf("degraded healthz body not JSON: %v\n%s", err, body503)
+	}
+	if hd.OK {
+		t.Fatalf("degraded payload = %+v", hd)
+	}
+	ready.Store(true)
+	hbody, _ = get("/healthz")
+	if !strings.Contains(hbody, "true") {
+		t.Fatalf("recovered healthz = %s", hbody)
 	}
 }

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"sympack/internal/core"
+	"sympack/internal/machine"
+	"sympack/internal/metrics"
+)
+
+// Breaker states, mirrored into the sympack_server_breaker_state gauge.
+const (
+	brkClosed   = 0
+	brkOpen     = 1
+	brkHalfOpen = 2
+)
+
+// breaker is the circuit breaker over the GPU-enabled execution path.
+// Repeated ErrDeviceFailed/ErrStalled results trip it open; while open,
+// factorizations are routed CPU-only (GPUsPerNode=0) — degraded throughput
+// instead of degraded availability. After a cooldown, one half-open probe
+// runs with GPUs again: success closes the breaker, another breaker-class
+// failure re-opens it for a fresh cooldown.
+type breaker struct {
+	mu        sync.Mutex
+	state     int
+	fails     int // consecutive breaker-class failures while closed
+	threshold int
+	cooldown  time.Duration
+	openedAt  time.Time // wall facade; pacing only
+	probing   bool      // a half-open probe is in flight
+
+	met *metrics.ServerMetrics
+}
+
+func newBreaker(threshold int, cooldown time.Duration, met *metrics.ServerMetrics) *breaker {
+	return &breaker{state: brkClosed, threshold: threshold, cooldown: cooldown, met: met}
+}
+
+// acquire decides the execution route for one factorization: useGPU is
+// whether the request may touch devices, probe marks it as the single
+// half-open canary whose outcome resolves the breaker. The caller must
+// report every acquire through result.
+func (b *breaker) acquire() (useGPU, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brkClosed:
+		return true, false
+	case brkOpen:
+		if !b.probing && machine.WallSince(b.openedAt) >= b.cooldown {
+			b.state = brkHalfOpen
+			b.probing = true
+			b.met.BreakerState.Set(brkHalfOpen)
+			return true, true
+		}
+		return false, false
+	default: // half-open: the probe is already out; stay CPU-only
+		return false, false
+	}
+}
+
+// breakerClass reports whether err is one of the failure classes the
+// breaker counts (device death, scheduling stall). Transient faults,
+// cancellations and client errors never move the breaker.
+func breakerClass(err error) bool {
+	return err != nil &&
+		(errors.Is(err, core.ErrDeviceFailed) || errors.Is(err, core.ErrStalled))
+}
+
+// result reports the outcome of an acquired route.
+func (b *breaker) result(err error, probe bool) {
+	bad := breakerClass(err)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+		if bad {
+			// The canary died: back to open for a fresh cooldown.
+			b.state = brkOpen
+			b.openedAt = machine.WallNow()
+			b.met.BreakerState.Set(brkOpen)
+			return
+		}
+		// Success — or a failure the breaker does not count (a canceled
+		// probe says nothing about device health, but holding the breaker
+		// open on it would wedge a healthy fleet). Close and reset.
+		b.state = brkClosed
+		b.fails = 0
+		b.met.BreakerState.Set(brkClosed)
+		return
+	}
+	if !bad {
+		if err == nil && b.state == brkClosed {
+			b.fails = 0
+		}
+		return
+	}
+	if b.state != brkClosed {
+		return // already open; CPU-routed failures don't re-trip
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.state = brkOpen
+		b.openedAt = machine.WallNow()
+		b.met.BreakerTrips.Inc()
+		b.met.BreakerState.Set(brkOpen)
+	}
+}
+
+// snapshot returns the current state for health reports.
+func (b *breaker) snapshot() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// stateName renders a breaker state for JSON health bodies.
+func stateName(s int) string {
+	switch s {
+	case brkOpen:
+		return "open"
+	case brkHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"sympack/internal/core"
+	"sympack/internal/metrics"
+)
+
+func testBreaker(threshold int, cooldown time.Duration) (*breaker, *metrics.ServerMetrics) {
+	met := metrics.NewServerMetrics(metrics.NewRegistry())
+	return newBreaker(threshold, cooldown, met), met
+}
+
+func devFail() error { return fmt.Errorf("boom: %w", core.ErrDeviceFailed) }
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	b, met := testBreaker(3, time.Hour)
+	for i := 0; i < 2; i++ {
+		useGPU, probe := b.acquire()
+		if !useGPU || probe {
+			t.Fatalf("closed breaker acquire = (%v, %v)", useGPU, probe)
+		}
+		b.result(devFail(), probe)
+	}
+	// A success in between resets the streak.
+	_, probe := b.acquire()
+	b.result(nil, probe)
+	for i := 0; i < 2; i++ {
+		_, probe := b.acquire()
+		b.result(devFail(), probe)
+	}
+	if b.snapshot() != brkClosed {
+		t.Fatal("breaker tripped before the threshold of consecutive failures")
+	}
+	_, probe = b.acquire()
+	b.result(devFail(), probe)
+	if b.snapshot() != brkOpen {
+		t.Fatal("breaker not open after 3 consecutive device failures")
+	}
+	if got := met.BreakerTrips.Value(); got != 1 {
+		t.Fatalf("trips = %g, want 1", got)
+	}
+	// While open (cooldown not elapsed): CPU-only routing.
+	if useGPU, probe := b.acquire(); useGPU || probe {
+		t.Fatalf("open breaker acquire = (%v, %v), want CPU-only", useGPU, probe)
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	b, _ := testBreaker(1, time.Millisecond)
+	_, probe := b.acquire()
+	b.result(devFail(), probe)
+	if b.snapshot() != brkOpen {
+		t.Fatal("threshold-1 breaker did not trip")
+	}
+	time.Sleep(3 * time.Millisecond)
+	// Cooldown elapsed: exactly one probe goes out with GPUs enabled,
+	// concurrent traffic stays CPU-only.
+	useGPU, probe := b.acquire()
+	if !useGPU || !probe {
+		t.Fatalf("post-cooldown acquire = (%v, %v), want GPU probe", useGPU, probe)
+	}
+	if useGPU2, probe2 := b.acquire(); useGPU2 || probe2 {
+		t.Fatalf("second acquire during probe = (%v, %v), want CPU-only", useGPU2, probe2)
+	}
+	b.result(nil, probe)
+	if b.snapshot() != brkClosed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if useGPU, _ := b.acquire(); !useGPU {
+		t.Fatal("closed breaker routes CPU-only")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b, _ := testBreaker(1, time.Millisecond)
+	_, probe := b.acquire()
+	b.result(fmt.Errorf("wedged: %w", core.ErrStalled), probe)
+	time.Sleep(3 * time.Millisecond)
+	_, probe = b.acquire()
+	if !probe {
+		t.Fatal("expected a half-open probe")
+	}
+	b.result(devFail(), probe)
+	if b.snapshot() != brkOpen {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+	// A fresh cooldown applies: immediately after, still CPU-only.
+	if useGPU, probe := b.acquire(); useGPU || probe {
+		t.Fatalf("acquire right after failed probe = (%v, %v)", useGPU, probe)
+	}
+}
+
+func TestBreakerIgnoresNonBreakerErrors(t *testing.T) {
+	b, _ := testBreaker(1, time.Hour)
+	for i := 0; i < 5; i++ {
+		_, probe := b.acquire()
+		b.result(fmt.Errorf("deadline: %w", core.ErrCanceled), probe)
+		_, probe = b.acquire()
+		b.result(errors.New("not positive definite"), probe)
+	}
+	if b.snapshot() != brkClosed {
+		t.Fatal("non-breaker errors moved the breaker")
+	}
+}

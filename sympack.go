@@ -118,6 +118,10 @@ var (
 	ErrDeviceFailed = core.ErrDeviceFailed
 	ErrLostSignal   = core.ErrLostSignal
 	ErrStalled      = core.ErrStalled
+	// ErrCanceled reports cooperative cancellation: Options.Context was
+	// canceled or its deadline passed, and the factorization or solve
+	// unwound cleanly at a task boundary (wraps the context cause).
+	ErrCanceled = core.ErrCanceled
 )
 
 // DefaultChaosPlan returns a moderate plan exercising every recoverable
