@@ -9,6 +9,9 @@
 //	9/10   — factorization / solve strong scaling, bone analogue (Figs. 9–10)
 //	11/12  — factorization / solve strong scaling, thermal analogue
 //	         (Figs. 11–12)
+//	variants — factorization strong scaling of the three task formulations
+//	         (fan-out / fan-in / fan-both) on the Flan analogue at scales
+//	         1–2 (DESIGN.md §13)
 //
 // Usage:
 //
@@ -37,7 +40,7 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: table1|5|6|7|8|9|10|11|12|all")
+		fig   = flag.String("fig", "all", "figure to regenerate: table1|5|6|7|8|9|10|11|12|variants|all")
 		scale = flag.Int("scale", 2, "problem scale for the matrix generators")
 	)
 	flag.StringVar(&csvDir, "csv", "", "also write each figure's series as CSV files into this directory")
@@ -69,6 +72,7 @@ func main() {
 	run("10", scaling("boneS10 analogue", buildBone, true))
 	run("11", scaling("thermal2 analogue", buildThermal, false))
 	run("12", scaling("thermal2 analogue", buildThermal, true))
+	run("variants", variantsFig)
 
 	if len(figures) > 0 {
 		path := filepath.Join(csvDir, "BENCH_scaling.json")
@@ -90,7 +94,7 @@ var figures []sympack.MetricsFigure
 func writeScalingReport(path string, scale int, figs []sympack.MetricsFigure) error {
 	rep := &sympack.RunReport{
 		Command:   "benchfig",
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Timestamp: machine.WallNow().UTC().Format(time.RFC3339),
 		Matrix:    fmt.Sprintf("generated analogues, scale %d", scale),
 		Figures:   figs,
 	}
@@ -122,6 +126,8 @@ func header(name string) string {
 		return "Figure 11: factorization strong scaling, thermal analogue"
 	case "12":
 		return "Figure 12: solve strong scaling, thermal analogue"
+	case "variants":
+		return "Scheduling variants: formulation strong scaling, Flan analogue"
 	}
 	return name
 }
@@ -287,4 +293,65 @@ func scaling(name string, build func(int) *matrix.SparseSym, solve bool) func(in
 		figures = append(figures, fig)
 		return writeCSV(fig.Name, rows)
 	}
+}
+
+// variantsFig races the three task formulations through the performance
+// model on the Flan analogue: one factorization strong-scaling curve per
+// formulation at scales 1 and 2 (the -scale flag is ignored so the figure
+// stays comparable across revisions), appended to BENCH_scaling.json. The
+// conformance battery (internal/core/conformance_test.go) pins all three
+// to identical factor bits, so these curves differ in schedule and traffic
+// only; fan-out is the baseline column of each curve.
+func variantsFig(int) error {
+	forms := symbolic.Formulations()
+	for _, scale := range []int{1, 2} {
+		a := buildFlan(scale)
+		st, _, err := symbolic.Analyze(a, ordering.NestedDissection, symbolic.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		tg := symbolic.BuildTaskGraph(st)
+		fmt.Printf("matrix: Flan analogue scale %d  n=%d nnz=%d  supernodes=%d\n",
+			scale, a.N, a.NnzFull(), st.NumSupernodes())
+		curves := make([][]des.ScalingPoint, len(forms))
+		for fi, form := range forms {
+			sw := des.DefaultSweep(des.SymPACK)
+			sw.Formulation = form
+			if curves[fi], err = des.StrongScaling(st, tg, sw); err != nil {
+				return err
+			}
+		}
+		ref := curves[0] // fan-out
+		fmt.Printf("%-6s %14s %14s %14s\n", "nodes", "fan-out", "fan-in", "fan-both")
+		rows := [][]string{{"nodes", "fanout_seconds", "fanin_seconds", "fanboth_seconds"}}
+		for i := range ref {
+			fmt.Printf("%-6d %13.4gs %13.4gs %13.4gs\n", ref[i].Nodes,
+				curves[0][i].FactorSeconds, curves[1][i].FactorSeconds, curves[2][i].FactorSeconds)
+			rows = append(rows, []string{
+				fmt.Sprint(ref[i].Nodes),
+				fmt.Sprintf("%.6g", curves[0][i].FactorSeconds),
+				fmt.Sprintf("%.6g", curves[1][i].FactorSeconds),
+				fmt.Sprintf("%.6g", curves[2][i].FactorSeconds),
+			})
+		}
+		for fi, form := range forms {
+			fig := sympack.MetricsFigure{
+				Name:   fmt.Sprintf("formulation_%s_scale%d_factor", form, scale),
+				Matrix: fmt.Sprintf("Flan_1565 analogue (scale %d)", scale),
+				Phase:  "factor",
+			}
+			for i := range curves[fi] {
+				fig.Points = append(fig.Points, sympack.MetricsPoint{
+					Nodes:    curves[fi][i].Nodes,
+					Seconds:  curves[fi][i].FactorSeconds,
+					Baseline: ref[i].FactorSeconds,
+				})
+			}
+			figures = append(figures, fig)
+		}
+		if err := writeCSV(fmt.Sprintf("variants_scale%d", scale), rows); err != nil {
+			return err
+		}
+	}
+	return nil
 }

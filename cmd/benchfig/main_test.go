@@ -4,13 +4,14 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"sympack"
 )
 
 func TestHeaders(t *testing.T) {
-	for _, name := range []string{"table1", "5", "6", "7", "8", "9", "10", "11", "12"} {
+	for _, name := range []string{"table1", "5", "6", "7", "8", "9", "10", "11", "12", "variants"} {
 		if h := header(name); h == name || h == "" {
 			t.Fatalf("missing header for %s", name)
 		}
@@ -86,6 +87,33 @@ func TestScalingReportRoundTrip(t *testing.T) {
 		for j, p := range rep.Figures[i].Points {
 			if p != figures[i].Points[j] {
 				t.Fatalf("figure %d point %d: %+v != %+v", i, j, p, figures[i].Points[j])
+			}
+		}
+	}
+}
+
+// TestVariantsRunner drives the formulation-comparison figure: two scales ×
+// three formulations must yield six curves, each point carrying fan-out's
+// time in the baseline column (so the fan-out curve has Seconds ==
+// Baseline everywhere).
+func TestVariantsRunner(t *testing.T) {
+	figures = nil
+	if err := variantsFig(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(figures) != 6 {
+		t.Fatalf("variants collected %d figures, want 6", len(figures))
+	}
+	for _, fig := range figures {
+		if len(fig.Points) == 0 {
+			t.Fatalf("figure %s has no points", fig.Name)
+		}
+		for _, p := range fig.Points {
+			if p.Seconds <= 0 || p.Baseline <= 0 {
+				t.Fatalf("figure %s: non-positive point %+v", fig.Name, p)
+			}
+			if strings.Contains(fig.Name, "fan-out") && p.Seconds != p.Baseline {
+				t.Fatalf("figure %s: fan-out must be its own baseline, got %+v", fig.Name, p)
 			}
 		}
 	}

@@ -31,6 +31,8 @@ func main() {
 		workers = flag.Int("workers", 0, "executor goroutines per rank (0 = SYMPACK_WORKERS env, else GOMAXPROCS/ranks)")
 		gpus    = flag.Int("gpus", 0, "GPUs per node (0 = CPU only)")
 		ordName = flag.String("ordering", "SCOTCH", "fill-reducing ordering")
+	formNm  = flag.String("formulation", "fan-out", "task formulation: fan-out|fan-in|fan-both")
+	mapNm   = flag.String("mapping", "2d-cyclic", "block→process mapping: 2d-cyclic|1d-cols|subtree")
 		refine  = flag.Bool("refine", false, "apply iterative refinement")
 		saveFac = flag.String("save-factor", "", "write the factor to this file and exit if no rhs given")
 		loadFac = flag.String("load-factor", "", "load a factor instead of factoring")
@@ -46,7 +48,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spsolve:", err)
 		os.Exit(1)
 	}
-	if err := run(*matPath, *rhsPath, *outPath, *ranks, *workers, *gpus, *ordName, *refine, *saveFac, *loadFac, *selDiag, plan, *metAddr, *report); err != nil {
+	form, err := sympack.ParseFormulation(*formNm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spsolve:", err)
+		os.Exit(1)
+	}
+	bmap, err := sympack.ParseMapping(*mapNm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spsolve:", err)
+		os.Exit(1)
+	}
+	if err := run(*matPath, *rhsPath, *outPath, *ranks, *workers, *gpus, *ordName, form, bmap, *refine, *saveFac, *loadFac, *selDiag, plan, *metAddr, *report); err != nil {
 		fmt.Fprintln(os.Stderr, "spsolve:", err)
 		os.Exit(1)
 	}
@@ -73,7 +85,7 @@ func faultPlan(spec string, chaos int64) (*sympack.FaultPlan, error) {
 	}
 }
 
-func run(matPath, rhsPath, outPath string, ranks, workers, gpus int, ordName string, refine bool, saveFac, loadFac, selDiag string, plan *sympack.FaultPlan, metAddr, report string) error {
+func run(matPath, rhsPath, outPath string, ranks, workers, gpus int, ordName string, form sympack.Formulation, bmap sympack.MappingKind, refine bool, saveFac, loadFac, selDiag string, plan *sympack.FaultPlan, metAddr, report string) error {
 	var (
 		a   *sympack.Matrix
 		f   *sympack.Factor
@@ -107,6 +119,7 @@ func run(matPath, rhsPath, outPath string, ranks, workers, gpus int, ordName str
 		}
 		f, err = sympack.Factorize(a, sympack.Options{
 			Ranks: ranks, Workers: workers, GPUsPerNode: gpus, Ordering: ord, Faults: plan,
+			Formulation: form, Mapping: bmap,
 			MetricsAddr: metAddr,
 		})
 		if err != nil {

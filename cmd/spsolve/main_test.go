@@ -49,7 +49,26 @@ func TestSolveEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	mat, a := writeTestMatrix(t, dir)
 	out := filepath.Join(dir, "x.txt")
-	if err := run(mat, "", out, 2, 0, 0, "SCOTCH", false, "", "", "", nil, "", ""); err != nil {
+	if err := run(mat, "", out, 2, 0, 0, "SCOTCH", sympack.FanOut, sympack.Map2DCyclic, false, "", "", "", nil, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	x := readVec(t, out, a.N)
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = 1
+	}
+	if r := sympack.ResidualNorm(a, x, b); r > 1e-10 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+// TestSolveVariantEndToEnd drives the CLI path under a non-default
+// scheduling variant (-formulation fan-both -mapping subtree).
+func TestSolveVariantEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	mat, a := writeTestMatrix(t, dir)
+	out := filepath.Join(dir, "x.txt")
+	if err := run(mat, "", out, 2, 0, 0, "SCOTCH", sympack.FanBoth, sympack.MapSubtree, false, "", "", "", nil, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	x := readVec(t, out, a.N)
@@ -67,7 +86,7 @@ func TestFactorCacheRoundTrip(t *testing.T) {
 	mat, a := writeTestMatrix(t, dir)
 	fac := filepath.Join(dir, "a.spkf")
 	// Factor-only invocation.
-	if err := run(mat, "", "", 2, 0, 0, "SCOTCH", false, fac, "", "", nil, "", ""); err != nil {
+	if err := run(mat, "", "", 2, 0, 0, "SCOTCH", sympack.FanOut, sympack.Map2DCyclic, false, fac, "", "", nil, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	// Solve from the cached factor with an explicit rhs.
@@ -80,7 +99,7 @@ func TestFactorCacheRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "x.txt")
-	if err := run("", rhs, out, 2, 0, 0, "SCOTCH", false, "", fac, "", nil, "", ""); err != nil {
+	if err := run("", rhs, out, 2, 0, 0, "SCOTCH", sympack.FanOut, sympack.Map2DCyclic, false, "", fac, "", nil, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	x := readVec(t, out, a.N)
@@ -98,7 +117,7 @@ func TestRefineAndSelinv(t *testing.T) {
 	mat, a := writeTestMatrix(t, dir)
 	out := filepath.Join(dir, "x.txt")
 	diag := filepath.Join(dir, "d.txt")
-	if err := run(mat, "", out, 2, 0, 0, "AMD", true, "", "", diag, nil, "", ""); err != nil {
+	if err := run(mat, "", out, 2, 0, 0, "AMD", sympack.FanOut, sympack.Map2DCyclic, true, "", "", diag, nil, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	d := readVec(t, diag, a.N)
@@ -110,23 +129,23 @@ func TestRefineAndSelinv(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "", 2, 0, 0, "SCOTCH", false, "", "", "", nil, "", ""); err == nil {
+	if err := run("", "", "", 2, 0, 0, "SCOTCH", sympack.FanOut, sympack.Map2DCyclic, false, "", "", "", nil, "", ""); err == nil {
 		t.Fatal("expected error without inputs")
 	}
-	if err := run("/nonexistent.mtx", "", "", 2, 0, 0, "SCOTCH", false, "", "", "", nil, "", ""); err == nil {
+	if err := run("/nonexistent.mtx", "", "", 2, 0, 0, "SCOTCH", sympack.FanOut, sympack.Map2DCyclic, false, "", "", "", nil, "", ""); err == nil {
 		t.Fatal("expected file error")
 	}
 	dir := t.TempDir()
 	mat, _ := writeTestMatrix(t, dir)
-	if err := run(mat, "", "", 2, 0, 0, "BOGUS", false, "", "", "", nil, "", ""); err == nil {
+	if err := run(mat, "", "", 2, 0, 0, "BOGUS", sympack.FanOut, sympack.Map2DCyclic, false, "", "", "", nil, "", ""); err == nil {
 		t.Fatal("expected ordering error")
 	}
 	// Refinement without the matrix must be refused.
 	fac := filepath.Join(dir, "a.spkf")
-	if err := run(mat, "", "", 2, 0, 0, "SCOTCH", false, fac, "", "", nil, "", ""); err != nil {
+	if err := run(mat, "", "", 2, 0, 0, "SCOTCH", sympack.FanOut, sympack.Map2DCyclic, false, fac, "", "", nil, "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", "", filepath.Join(dir, "x.txt"), 2, 0, 0, "SCOTCH", true, "", fac, "", nil, "", ""); err == nil {
+	if err := run("", "", filepath.Join(dir, "x.txt"), 2, 0, 0, "SCOTCH", sympack.FanOut, sympack.Map2DCyclic, true, "", fac, "", nil, "", ""); err == nil {
 		t.Fatal("expected refine-without-matrix error")
 	}
 }

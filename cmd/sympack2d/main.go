@@ -33,6 +33,8 @@ func main() {
 		genSpec  = flag.String("gen", "", "generate a matrix instead: flan:S, bone:S, thermal:S, laplace2d:S, laplace3d:S (S = integer scale)")
 		nrhs     = flag.Int("nrhs", 1, "number of right-hand sides to solve")
 		ordName  = flag.String("ordering", "SCOTCH", "fill-reducing ordering: SCOTCH|AMD|RCM|NATURAL")
+		formName = flag.String("formulation", "fan-out", "task formulation: fan-out|fan-in|fan-both")
+		mapName  = flag.String("mapping", "2d-cyclic", "block→process mapping: 2d-cyclic|1d-cols|subtree")
 		ranks    = flag.Int("ranks", 4, "number of UPC++ processes to simulate")
 		workers  = flag.Int("workers", 0, "executor goroutines per rank (0 = SYMPACK_WORKERS env, else GOMAXPROCS/ranks)")
 		rpn      = flag.Int("ranks-per-node", 0, "ranks per node (0 = all on one node)")
@@ -61,12 +63,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sympack2d:", err)
 		os.Exit(1)
 	}
+	form, err := sympack.ParseFormulation(*formName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sympack2d:", err)
+		os.Exit(1)
+	}
+	bmap, err := sympack.ParseMapping(*mapName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sympack2d:", err)
+		os.Exit(1)
+	}
 	opt := sympack.Options{
 		Ranks:        *ranks,
 		Workers:      *workers,
 		RanksPerNode: *rpn,
 		GPUsPerNode:  *gpus,
 		Ordering:     ord,
+		Formulation:  form,
+		Mapping:      bmap,
 	}
 	if *devCap > 0 {
 		opt.DeviceCapacity = *devCap * (1 << 20) / 8
@@ -87,8 +101,8 @@ func main() {
 	opt.Faults = plan
 	opt.MetricsAddr = *metAddr
 
-	fmt.Printf("matrix: %s  n=%d  nnz=%d  ordering=%v  ranks=%d  gpus/node=%d\n",
-		name, a.N, a.NnzFull(), ord, *ranks, *gpus)
+	fmt.Printf("matrix: %s  n=%d  nnz=%d  ordering=%v  ranks=%d  gpus/node=%d  formulation=%v  mapping=%v\n",
+		name, a.N, a.NnzFull(), ord, *ranks, *gpus, form, bmap)
 	if plan != nil {
 		fmt.Printf("fault injection: %s  (seed %d)\n", planDesc, plan.Seed)
 	}

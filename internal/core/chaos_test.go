@@ -106,6 +106,59 @@ func TestChaosMatrix(t *testing.T) {
 	}
 }
 
+// TestChaosFormulationMatrix crosses the chaos grid with the task
+// formulation axis: the contribution-delivering formulations route extra
+// payloads (per-update contribution buffers) through the same resilient
+// announce/poll/re-request protocol, so a faulted run must land on exactly
+// the clean run's factor bits at every rank count — including ranks=1,
+// where self-delivery bypasses the wire entirely.
+func TestChaosFormulationMatrix(t *testing.T) {
+	a := gen.Laplace2D(9, 8)
+	classes := []struct {
+		name string
+		c    faults.Class
+		rate float64
+	}{
+		{"drop", faults.DropSignal, 0.3},
+		{"dup", faults.DupSignal, 0.3},
+		{"delay", faults.DelaySignal, 0.4},
+		{"transfer", faults.TransientTransfer, 0.3},
+	}
+	for _, form := range []Formulation{FanOut, FanBoth} {
+		form := form
+		t.Run(form.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, ranks := range []int{1, 4} {
+				clean, err := Factorize(a, Options{
+					Ranks: ranks, Workers: 2, Formulation: form,
+				})
+				if err != nil {
+					t.Fatalf("p%d: clean run: %v", ranks, err)
+				}
+				for _, tc := range classes {
+					for _, seed := range chaosSeeds(t) {
+						f, err := Factorize(a, Options{
+							Ranks:        ranks,
+							Workers:      2,
+							Formulation:  form,
+							Faults:       planWith(seed, tc.c, tc.rate),
+							StallTimeout: 20 * time.Second,
+						})
+						if err != nil {
+							t.Fatalf("%s/p%d/seed%d: %v", tc.name, ranks, seed, err)
+						}
+						requireSameFactor(t, clean, f,
+							fmt.Sprintf("%s faults, p%d seed %d vs clean run", tc.name, ranks, seed))
+						if r := distSolveCheck(t, a, f, seed); r > 1e-10 {
+							t.Fatalf("%s/p%d/seed%d: residual %g", tc.name, ranks, seed, r)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestChaosAllClassesCombined piles every recoverable class into one plan,
 // on a four-worker pool so every recovery path also runs concurrently.
 func TestChaosAllClassesCombined(t *testing.T) {

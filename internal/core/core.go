@@ -72,9 +72,18 @@ type Options struct {
 	// evaluating policies was flagged as future work, so all three are
 	// provided). Default is FIFO.
 	Scheduling SchedulingPolicy
+	// Formulation selects the task formulation: which block's owner
+	// computes each update (fan-out — the paper's choice and the default —
+	// fan-in, or fan-both). All formulations produce bit-identical factors
+	// for a given mapping because contributions are delivered per update
+	// and applied in the canonical order; they differ in what travels on
+	// the wire and where the update flops land.
+	Formulation Formulation
 	// Mapping selects the block→process distribution. The default 2D
 	// block-cyclic map is the paper's choice (§3.3); the 1D column map is
-	// provided to demonstrate the serial bottleneck it avoids.
+	// provided to demonstrate the serial bottleneck it avoids, and the
+	// subtree map assigns proportional process ranges over the
+	// supernodal elimination tree.
 	Mapping MappingKind
 	// Trace, when non-nil, records every executed task for timeline and
 	// load-balance analysis (Chrome trace-event export).
@@ -107,29 +116,38 @@ type Options struct {
 	MetricsAddr string
 }
 
-// MappingKind selects the block distribution.
-type MappingKind uint8
+// MappingKind selects the block distribution; the kinds themselves live in
+// internal/symbolic so the DES model shares them.
+type MappingKind = symbolic.MappingKind
 
 const (
 	// Map2DCyclic is the paper's 2D block-cyclic distribution (default).
-	Map2DCyclic MappingKind = iota
+	Map2DCyclic = symbolic.Map2DCyclic
 	// Map1DCols assigns whole supernode columns cyclically.
-	Map1DCols
+	Map1DCols = symbolic.Map1DCols
+	// MapSubtree is the proportional subtree-to-process-range mapping.
+	MapSubtree = symbolic.MapSubtree
 )
 
-func (m MappingKind) String() string {
-	if m == Map1DCols {
-		return "1d-cols"
-	}
-	return "2d-cyclic"
-}
+// Formulation selects the task formulation (fan-out / fan-in / fan-both);
+// shared with internal/symbolic and internal/des.
+type Formulation = symbolic.Formulation
 
-// blockMapFor constructs the configured distribution.
-func blockMapFor(kind MappingKind, p int) symbolic.BlockMap {
-	if kind == Map1DCols {
-		return symbolic.Map1D{NP: p}
-	}
-	return symbolic.NewMap2D(p)
+const (
+	// FanOut computes updates at the target's owner (the paper's §3.2).
+	FanOut = symbolic.FanOut
+	// FanIn computes updates at the left source operand's owner and ships
+	// the contribution to the target.
+	FanIn = symbolic.FanIn
+	// FanBoth computes updates at the transposed source operand's owner;
+	// sources fan out to it and contributions fan in to the target.
+	FanBoth = symbolic.FanBoth
+)
+
+// blockMapFor constructs the configured distribution (the subtree map
+// consults the supernodal tree, hence the structure parameter).
+func blockMapFor(kind MappingKind, p int, st *symbolic.Structure) symbolic.BlockMap {
+	return symbolic.NewBlockMap(kind, p, st)
 }
 
 // SchedulingPolicy orders the ready task queue.
@@ -308,7 +326,7 @@ func FactorizeAnalyzed(st *symbolic.Structure, pa *matrix.SparseSym, opt Options
 		}
 	}
 	tg := symbolic.BuildTaskGraph(st)
-	m2d := blockMapFor(opt.Mapping, opt.Ranks)
+	m2d := blockMapFor(opt.Mapping, opt.Ranks, st)
 
 	inj := newInjector(opt)
 	rt, err := upcxx.NewRuntime(upcxx.Config{
@@ -333,7 +351,11 @@ func FactorizeAnalyzed(st *symbolic.Structure, pa *matrix.SparseSym, opt Options
 	f.Stats.Blocks = st.NumBlocks()
 	f.Stats.Updates = len(tg.Updates)
 
-	dir := make([]upcxx.GlobalPtr, len(st.Blocks))
+	// The item directory covers blocks and — under contribution-delivering
+	// formulations — one slot per update for the computed contribution
+	// (item id = nBlocks + update index). Both ride the same signal / poll
+	// / Rget / re-request protocol.
+	dir := make([]upcxx.GlobalPtr, len(st.Blocks)+len(tg.Updates))
 	engines := make([]*engine, opt.Ranks)
 	// engMu orders engine-slot publication against the watchdog's health
 	// snapshots; the slots themselves are written once, before the first
@@ -385,7 +407,7 @@ func FactorizeAnalyzed(st *symbolic.Structure, pa *matrix.SparseSym, opt Options
 	var merged metrics.Snapshot
 
 	start := machine.WallNow()
-	totalTasks := int64(st.NumBlocks() + len(tg.Updates))
+	totalTasks := int64(opt.Formulation.TaskCount(tg))
 	err = rt.Run(func(r *upcxx.Rank) {
 		e := newEngine(r, st, tg, pa, m2d, &opt, dir, engines)
 		e.progress = &progress

@@ -21,16 +21,20 @@ import (
 	"sympack/internal/upcxx"
 )
 
-// taskKind enumerates the paper's three task types (§3.2).
+// taskKind enumerates the paper's three task types (§3.2), plus the apply
+// task the fan-in/fan-both formulations add: when an update is computed
+// away from its target's owner, the delivered contribution is scattered
+// into the target by a separate A task at the target's rank.
 type taskKind uint8
 
 const (
 	taskDiag   taskKind = iota // D_k: POTRF of a diagonal block
 	taskFactor                 // F_{i,k}: TRSM of an off-diagonal block
 	taskUpdate                 // U_{i,j,k}: SYRK/GEMM update
+	taskApply                  // A_{i,j,k}: scatter a delivered contribution
 )
 
-// task is one RTQ entry: a block id for D/F, an update index for U. The
+// task is one RTQ entry: a block id for D/F, an update index for U/A. The
 // seq and depth fields are the scheduling keys: seq is the push order
 // (FIFO/LIFO) and depth the critical-path priority, cached at push time so
 // the heap comparator never touches engine state.
@@ -90,7 +94,14 @@ type engine struct {
 	a   *matrix.SparseSym
 	m2d symbolic.BlockMap
 	opt *Options
-	dir []upcxx.GlobalPtr // shared global directory of block pointers
+	// form is the task formulation (cached from opt). The protocol below
+	// speaks in *items*: item ids < nBlocks are blocks, and — under
+	// contribution-delivering formulations — item nBlocks+ui is the
+	// computed contribution of update ui. dir, avail, produced, wanted,
+	// reqAt and reqCount are all indexed/keyed by item id.
+	form    symbolic.Formulation
+	nBlocks int32
+	dir     []upcxx.GlobalPtr // shared global directory of item pointers
 	// peers is the per-factorization engine registry (index = rank).
 	// Producer RPC closures use it to reach the consumer's inbox; the
 	// closure executes on the consumer's progress goroutine inside
@@ -117,9 +128,10 @@ type engine struct {
 	depBlock  []int32
 	depUpdate []int32 // guarded by e.mu
 
-	// avail caches source-block data this rank can consume, by block id.
-	// Guarded by e.mu; entries are write-once, which is what licenses the
-	// two audited unlocked reads in hostOf and gpuTrsm.
+	// avail caches source data this rank can consume, by item id (blocks,
+	// then delivered contributions). Guarded by e.mu; entries are
+	// write-once, which is what licenses the two audited unlocked reads in
+	// hostOf and gpuTrsm.
 	avail []*fetched
 
 	// updatesByLocalSource maps a source block id to the local update
@@ -138,7 +150,7 @@ type engine struct {
 	applySeq []int32
 	blk      []blockApply
 
-	// signals received but not yet processed: block ids announced by
+	// signals received but not yet processed: item ids announced by
 	// producers via RPC. Guarded by e.mu.
 	inbox []int32
 
@@ -155,16 +167,17 @@ type engine struct {
 	doneTasks  int // guarded by e.mu
 
 	// Resilience state (lost-signal recovery, paper Fig. 4 hardened).
-	// produced[bid] is set by this rank once it has factored and announced
-	// block bid; writers are executor workers and the reader is the
+	// produced[item] is set by this rank once it has produced and announced
+	// the item (a factored block, or a computed contribution under
+	// fan-in/fan-both); writers are executor workers and the reader is the
 	// re-request RPC handler on the progress goroutine, so both sides go
 	// through mu. Guarded by e.mu.
 	produced []bool
-	// wanted holds source block ids this rank's remaining tasks still
+	// wanted holds source item ids this rank's remaining tasks still
 	// await; entries leave on acquire. Its remote members are the
 	// candidates for re-requests when the rank idles. Guarded by e.mu.
 	wanted map[int32]bool
-	// reqAt / reqCount implement per-block exponential backoff between
+	// reqAt / reqCount implement per-item exponential backoff between
 	// re-requests; reqAt holds the earliest next attempt in wall-clock
 	// nanoseconds (ticks proved useless as a clock: the idle loop's short
 	// sleeps stretch to OS-timer granularity, freezing tick-based timers).
@@ -184,17 +197,20 @@ type engine struct {
 }
 
 func newEngine(r *upcxx.Rank, st *symbolic.Structure, tg *symbolic.TaskGraph, a *matrix.SparseSym, m2d symbolic.BlockMap, opt *Options, dir []upcxx.GlobalPtr, peers []*engine) *engine {
+	nItems := len(st.Blocks) + len(tg.Updates)
 	e := &engine{
 		r: r, st: st, tg: tg, a: a, m2d: m2d, opt: opt, dir: dir, peers: peers,
+		form:                 opt.Formulation,
+		nBlocks:              int32(len(st.Blocks)),
 		owned:                make([][]float64, len(st.Blocks)),
 		depBlock:             make([]int32, len(st.Blocks)),
 		depUpdate:            make([]int32, len(tg.Updates)),
-		avail:                make([]*fetched, len(st.Blocks)),
+		avail:                make([]*fetched, nItems),
 		updatesByLocalSource: make([][]int32, len(st.Blocks)),
 		localFOfSnode:        make([][]int32, len(st.Snodes)),
 		applySeq:             make([]int32, len(tg.Updates)),
 		blk:                  make([]blockApply, len(st.Blocks)),
-		produced:             make([]bool, len(st.Blocks)),
+		produced:             make([]bool, nItems),
 		wanted:               map[int32]bool{},
 		reqAt:                map[int32]int64{},
 		reqCount:             map[int32]int{},
@@ -248,14 +264,27 @@ func (e *engine) setup() {
 			e.push(taskFor(b), b.ID)
 		}
 	}
-	// Update tasks execute at the target's owner. The ascending sweep also
-	// fixes each update's canonical apply position within its target block
-	// (applySeq), the order the ordered-apply machinery enforces at run
-	// time regardless of which worker finishes first.
+	// Update compute tasks execute at the owner of the formulation's
+	// compute block — the target under fan-out, a source operand under
+	// fan-in/fan-both. The ascending sweep runs over every update
+	// unconditionally so each update's canonical apply position within its
+	// target block (applySeq) is a pure function of the task graph —
+	// identical on every rank, for every mapping and formulation — which
+	// is what keeps the scatter-subtract order, and therefore the factor
+	// bits, schedule-independent.
+	deliver := e.form.DeliversContributions()
 	updsIntoBlock := make([]int32, len(st.Blocks))
 	for ui := range tg.Updates {
 		u := &tg.Updates[ui]
-		if !e.mine(&st.Blocks[u.Target]) {
+		e.applySeq[ui] = updsIntoBlock[u.Target]
+		updsIntoBlock[u.Target]++
+		if deliver && e.mine(&st.Blocks[u.Target]) {
+			// The apply task scatters the delivered contribution into the
+			// target; it becomes ready when the contribution item arrives.
+			e.wanted[e.nBlocks+int32(ui)] = true
+			e.totalTasks++
+		}
+		if !e.mine(&st.Blocks[e.form.ComputeBlock(u)]) {
 			continue
 		}
 		deps := int32(2)
@@ -263,8 +292,6 @@ func (e *engine) setup() {
 			deps = 1
 		}
 		e.depUpdate[int32(ui)] = deps
-		e.applySeq[ui] = updsIntoBlock[u.Target]
-		updsIntoBlock[u.Target]++
 		e.updatesByLocalSource[u.BlkA] = append(e.updatesByLocalSource[u.BlkA], int32(ui))
 		e.wanted[u.BlkA] = true
 		if u.BlkB != u.BlkA {
@@ -362,7 +389,7 @@ func chainDepths(st *symbolic.Structure) []int32 {
 
 // taskSupernode returns the supernode a task advances, for prioritization.
 func (e *engine) taskSupernode(t task) int32 {
-	if t.kind == taskUpdate {
+	if t.kind == taskUpdate || t.kind == taskApply {
 		return e.st.Blocks[e.tg.Updates[t.id].Target].Snode
 	}
 	return e.st.Blocks[t.id].Snode
@@ -482,19 +509,20 @@ func (e *engine) drainUntil(progress *atomic.Int64, total int64) {
 	}
 }
 
-// reRequestLost asks the producers of still-awaited remote blocks to
-// re-announce anything they have already factored. A producer that has not
-// produced the block yet ignores the request (the real announcement will
-// come); one whose announcement was dropped re-signals, and the consumer's
-// normal poll path takes it from there. Per-block exponential backoff keeps
-// the recovery traffic bounded, and the request/redeliver RPCs are
-// themselves subject to injection — the protocol only assumes the network
-// delivers eventually, not reliably.
+// reRequestLost asks the producers of still-awaited remote items — source
+// blocks, and contribution items under fan-in/fan-both — to re-announce
+// anything they have already produced. A producer that has not produced
+// the item yet ignores the request (the real announcement will come); one
+// whose announcement was dropped re-signals, and the consumer's normal
+// poll path takes it from there. Per-item exponential backoff keeps the
+// recovery traffic bounded, and the request/redeliver RPCs are themselves
+// subject to injection — the protocol only assumes the network delivers
+// eventually, not reliably.
 func (e *engine) reRequestLost() {
 	// Callers hold e.mu (wanted/reqAt/reqCount are scheduler state).
 	rt := e.r.Runtime()
 	now := machine.WallNow().UnixNano()
-	// Re-request in sorted block order: the recovery RPCs race the normal
+	// Re-request in sorted item order: the recovery RPCs race the normal
 	// announcement path, and map order here would make the replayed
 	// schedule depend on Go's map randomization.
 	pending := make([]int32, 0, len(e.wanted))
@@ -503,7 +531,8 @@ func (e *engine) reRequestLost() {
 	}
 	sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
 	for _, bid := range pending {
-		if e.owned[bid] != nil {
+		owner := e.itemProducer(bid)
+		if owner == e.r.ID {
 			continue // locally produced: delivery is a direct call, never lost
 		}
 		if now < e.reqAt[bid] {
@@ -515,17 +544,16 @@ func (e *engine) reRequestLost() {
 			n = 6
 		}
 		e.reqAt[bid] = now + int64(4*time.Millisecond)<<n
-		owner := symbolic.OwnerOfBlock(e.m2d, &e.st.Blocks[bid])
 		b := bid
 		requester := e.r.ID
 		peers := e.peers
 		e.met.reRequests.Inc()
 		rt.Stats.ReRequests.Add(1)
 		if tr := e.opt.Trace; tr != nil {
-			tr.End(int32(e.r.ID), "fault:re-request", tr.Begin(), fmt.Sprintf("blk=%d owner=%d", b, owner))
+			tr.End(int32(e.r.ID), "fault:re-request", tr.Begin(), fmt.Sprintf("item=%d owner=%d", b, owner))
 		}
 		e.r.RPC(owner, func(t *upcxx.Rank) {
-			// Runs on the producer's progress goroutine: if the block is
+			// Runs on the producer's progress goroutine: if the item is
 			// done, re-announce it to the requester; duplicates are
 			// absorbed by acquire. produced is written by the producer's
 			// executor workers, so read it under the producer's mu.
@@ -571,18 +599,24 @@ func (e *engine) poll() {
 	e.mu.Unlock()
 }
 
-// acquire makes a source block locally available (fetching it if remote)
-// and propagates dependency decrements. It is idempotent — duplicated
-// announcements return early — and fault-tolerant: a transfer whose retry
-// budget ran out leaves the block in the wanted set, where the re-request
-// protocol triggers a fresh announcement and a fresh fetch. Callers hold
-// e.mu; the mutex release at the subsequent pop is the happens-before edge
-// that lets workers read avail entries unlocked afterwards (acquire never
-// rewrites an existing entry).
-func (e *engine) acquire(bid int32) {
-	if e.avail[bid] != nil {
+// acquire makes a source item locally available (fetching it if remote)
+// and propagates dependency decrements: a block readies the F/U tasks
+// consuming it, a contribution item readies its apply task. It is
+// idempotent — duplicated announcements return early — and fault-tolerant:
+// a transfer whose retry budget ran out leaves the item in the wanted set,
+// where the re-request protocol triggers a fresh announcement and a fresh
+// fetch. Callers hold e.mu; the mutex release at the subsequent pop is the
+// happens-before edge that lets workers read avail entries unlocked
+// afterwards (acquire never rewrites an existing entry).
+func (e *engine) acquire(item int32) {
+	if e.avail[item] != nil {
 		return
 	}
+	if item >= e.nBlocks {
+		e.acquireContribution(item)
+		return
+	}
+	bid := item
 	b := &e.st.Blocks[bid]
 	var fc fetched
 	if data := e.owned[bid]; data != nil {
@@ -638,12 +672,51 @@ func (e *engine) acquire(bid int32) {
 	}
 }
 
-// hostOf returns the host copy of an available block, materializing it from
-// the device mirror when the block was fetched device-direct. Concurrent
-// workers consuming the same block race to materialize; once serializes.
-func (e *engine) hostOf(bid int32) []float64 {
+// acquireContribution makes a delivered update contribution locally
+// available and readies its apply task. Same contract as the block path of
+// acquire: idempotent via avail, and a failed transfer leaves the item in
+// the wanted set for the re-request protocol. The directory entry is
+// always populated by the time any signal for the item can arrive — the
+// producer publishes before announcing, and redeliveries check produced
+// first. Callers hold e.mu.
+func (e *engine) acquireContribution(item int32) {
+	var fc fetched
+	src := e.dir[item]
+	if int(src.Rank) == e.r.ID {
+		// Computed on this rank (the compute owner is also the target
+		// owner): the published buffer is directly readable.
+		fc.host = src.Data
+	} else {
+		fc.host = make([]float64, src.Len())
+		if f := e.r.Rget(src, fc.host); !f.OK() {
+			e.met.fetchFailures.Inc()
+			e.reqAt[item] = 0
+			return
+		}
+	}
+	e.avail[item] = &fc
+	delete(e.wanted, item)
+	e.push(taskApply, item-e.nBlocks)
+}
+
+// itemProducer returns the rank that produces an item: the owner of a
+// block, or — for a contribution — the owner of the update's compute block
+// under the active formulation.
+func (e *engine) itemProducer(item int32) int {
+	if item < e.nBlocks {
+		return symbolic.OwnerOfBlock(e.m2d, &e.st.Blocks[item])
+	}
+	u := &e.tg.Updates[item-e.nBlocks]
+	return symbolic.OwnerOfBlock(e.m2d, &e.st.Blocks[e.form.ComputeBlock(u)])
+}
+
+// hostOf returns the host copy of an available item (source block or
+// delivered contribution), materializing it from the device mirror when a
+// block was fetched device-direct. Concurrent workers consuming the same
+// item race to materialize; once serializes.
+func (e *engine) hostOf(item int32) []float64 {
 	//lint:ignore mutexguard avail entries are write-once under e.mu; the pop that scheduled this task happens-after acquire published the entry (see acquire's doc)
-	fc := e.avail[bid]
+	fc := e.avail[item]
 	fc.once.Do(func() {
 		if fc.host == nil {
 			fc.host = make([]float64, fc.dev.Len())
@@ -718,16 +791,20 @@ func (e *engine) execute(t task, lane int32) {
 	case taskUpdate:
 		e.runUpdate(t.id)
 		tr.EndLane(int32(e.r.ID), lane, "U", start, fmt.Sprintf("upd=%d", t.id))
+	case taskApply:
+		e.runApply(t.id)
+		tr.EndLane(int32(e.r.ID), lane, "A", start, fmt.Sprintf("upd=%d", t.id))
 	}
 }
 
-// announce notifies every rank holding tasks that consume block bid
-// (paper Fig. 4 step 1); the local rank is handled directly. It also
-// records the block as produced so the re-request protocol can serve
-// consumers whose notification the network lost. The producing worker's
-// write to the block data happens-before every consumer read: locally via
-// e.mu (acquire under the same lock the consuming pop takes), remotely via
-// the RPC queue lock followed by the consumer's inbox drain under its mu.
+// announce notifies every rank holding tasks that consume an item — a
+// factored block (paper Fig. 4 step 1) or a computed contribution under
+// fan-in/fan-both; the local rank is handled directly. It also records the
+// item as produced so the re-request protocol can serve consumers whose
+// notification the network lost. The producing worker's write to the item
+// data happens-before every consumer read: locally via e.mu (acquire under
+// the same lock the consuming pop takes), remotely via the RPC queue lock
+// followed by the consumer's inbox drain under its mu.
 func (e *engine) announce(bid int32, consumers map[int]bool) {
 	e.mu.Lock()
 	e.produced[bid] = true
@@ -736,7 +813,7 @@ func (e *engine) announce(bid int32, consumers map[int]bool) {
 	}
 	e.mu.Unlock()
 	// Notify consumers in sorted rank order so the signal fan-out is a
-	// deterministic function of the block, not of map iteration order.
+	// deterministic function of the item, not of map iteration order.
 	ranks := make([]int, 0, len(consumers))
 	for rank := range consumers {
 		ranks = append(ranks, rank)
@@ -796,17 +873,21 @@ func (e *engine) runFactor(bid int32) {
 	} else {
 		e.cpuTrsm(m, n, diagID, data)
 	}
-	// Consumers: owners of the targets of every update using this block.
+	// Consumers: owners of the formulation's compute blocks of every
+	// update using this block — the target's owner under fan-out, a source
+	// operand's owner under fan-in/fan-both.
 	consumers := map[int]bool{}
 	for _, ui := range e.tg.UpdatesBySource[bid] {
 		u := &e.tg.Updates[ui]
-		consumers[symbolic.OwnerOfBlock(e.m2d, &st.Blocks[u.Target])] = true
+		consumers[symbolic.OwnerOfBlock(e.m2d, &st.Blocks[e.form.ComputeBlock(u)])] = true
 	}
 	e.announce(bid, consumers)
 }
 
 // runUpdate executes U_{i,j,k}: W = B_{i,j}·B_{k,j}ᵀ (SYRK when the blocks
-// coincide), then commits the contribution through the ordered-apply path.
+// coincide), then commits the contribution — directly through the
+// ordered-apply path under fan-out, or by publishing it to the target's
+// owner under the contribution-delivering formulations.
 func (e *engine) runUpdate(ui int32) {
 	st := e.st
 	u := &e.tg.Updates[ui]
@@ -837,7 +918,37 @@ func (e *engine) runUpdate(ui int32) {
 		}
 	}
 
+	if e.form.DeliversContributions() {
+		e.publishContribution(ui, scratch)
+		return
+	}
 	e.applyUpdate(ui, scratch)
+}
+
+// publishContribution ships a computed contribution toward the target
+// block's owner under fan-in/fan-both: the scratch buffer is adopted into
+// this rank's shared segment, published in the item directory, and
+// announced exactly like a factored block — so a lost or duplicated
+// contribution signal is recovered by the same re-request protocol. The
+// target's apply task scatters it in the canonical order.
+func (e *engine) publishContribution(ui int32, scratch []float64) {
+	item := e.nBlocks + ui
+	g := e.r.NewArrayFrom(scratch)
+	e.mu.Lock()
+	e.dir[item] = g
+	e.mu.Unlock()
+	tgt := &e.st.Blocks[e.tg.Updates[ui].Target]
+	e.announce(item, map[int]bool{symbolic.OwnerOfBlock(e.m2d, tgt): true})
+}
+
+// runApply executes A_{i,j,k}: scatter a delivered contribution into its
+// target block through the ordered-apply path. The numeric work already
+// happened at the compute rank; the separate task exists so the scatter
+// runs on the target's executor outside e.mu — blockApply.mu must be taken
+// strictly before engine.mu, so acquire (which holds e.mu) cannot apply
+// inline.
+func (e *engine) runApply(ui int32) {
+	e.applyUpdate(ui, e.hostOf(e.nBlocks+ui))
 }
 
 // applyUpdate commits a computed update contribution to its target block in

@@ -43,11 +43,14 @@ func TestSchedulingPoliciesAgree(t *testing.T) {
 	}
 }
 
-// TestPopOrdering exercises engine.pop directly: for each policy, tasks
-// pushed in a known order must pop in the policy's order, and — the
-// historical bug this pins down — the critical-path order must be a strict
-// total order independent of push order, not a first-max scan whose
-// tie-break leaked the queue's memory layout.
+// TestPopOrdering exercises engine.pop directly, under every task
+// formulation: for each policy, tasks pushed in a known order must pop in
+// the policy's order, and — the historical bug this pins down — the
+// critical-path order must be a strict total order independent of push
+// order, not a first-max scan whose tie-break leaked the queue's memory
+// layout. The delivering formulations add the apply kind to the ready set,
+// so the tie-break chain (depth, kind, id) is checked over all four task
+// kinds, not just the fan-out three.
 func TestPopOrdering(t *testing.T) {
 	a := gen.Laplace2D(6, 5)
 	base := Options{}.withDefaults()
@@ -59,78 +62,89 @@ func TestPopOrdering(t *testing.T) {
 	}
 	tg := symbolic.BuildTaskGraph(st)
 
-	var all []task
-	for bi := range st.Blocks {
-		b := &st.Blocks[bi]
-		all = append(all, task{kind: taskFor(b), id: b.ID})
-	}
-	for ui := range tg.Updates {
-		all = append(all, task{kind: taskUpdate, id: int32(ui)})
-	}
-	if len(all) < 10 {
-		t.Fatalf("problem too small to exercise ordering: %d tasks", len(all))
-	}
-
-	drain := func(pol SchedulingPolicy, reversed bool) ([]task, *engine) {
-		o := Options{Scheduling: pol, Workers: 1}
-		e := newEngine(nil, st, tg, nil, symbolic.NewMap2D(1), &o, nil, nil)
-		if pol == SchedCriticalPath {
-			e.chainDepth = chainDepths(st)
-		}
-		for i := range all {
-			k := i
-			if reversed {
-				k = len(all) - 1 - i
+	for _, form := range symbolic.Formulations() {
+		form := form
+		t.Run(form.String(), func(t *testing.T) {
+			var all []task
+			for bi := range st.Blocks {
+				b := &st.Blocks[bi]
+				all = append(all, task{kind: taskFor(b), id: b.ID})
 			}
-			e.push(all[k].kind, all[k].id)
-		}
-		out := make([]task, 0, len(all))
-		for {
-			tk, ok := e.pop()
-			if !ok {
-				break
+			for ui := range tg.Updates {
+				all = append(all, task{kind: taskUpdate, id: int32(ui)})
 			}
-			out = append(out, tk)
-		}
-		return out, e
-	}
+			if form.DeliversContributions() {
+				for ui := range tg.Updates {
+					all = append(all, task{kind: taskApply, id: int32(ui)})
+				}
+			}
+			if len(all) < 10 {
+				t.Fatalf("problem too small to exercise ordering: %d tasks", len(all))
+			}
 
-	sameTask := func(x, y task) bool { return x.kind == y.kind && x.id == y.id }
+			drain := func(pol SchedulingPolicy, reversed bool) ([]task, *engine) {
+				o := Options{Scheduling: pol, Workers: 1, Formulation: form}
+				e := newEngine(nil, st, tg, nil, symbolic.NewMap2D(1), &o, nil, nil)
+				if pol == SchedCriticalPath {
+					e.chainDepth = chainDepths(st)
+				}
+				for i := range all {
+					k := i
+					if reversed {
+						k = len(all) - 1 - i
+					}
+					e.push(all[k].kind, all[k].id)
+				}
+				out := make([]task, 0, len(all))
+				for {
+					tk, ok := e.pop()
+					if !ok {
+						break
+					}
+					out = append(out, tk)
+				}
+				return out, e
+			}
 
-	// FIFO pops in push order; LIFO in reverse push order.
-	fifo, _ := drain(SchedFIFO, false)
-	for i := range fifo {
-		if !sameTask(fifo[i], all[i]) {
-			t.Fatalf("FIFO pop %d = %+v, want %+v", i, fifo[i], all[i])
-		}
-	}
-	lifo, _ := drain(SchedLIFO, false)
-	for i := range lifo {
-		want := all[len(all)-1-i]
-		if !sameTask(lifo[i], want) {
-			t.Fatalf("LIFO pop %d = %+v, want %+v", i, lifo[i], want)
-		}
-	}
+			sameTask := func(x, y task) bool { return x.kind == y.kind && x.id == y.id }
 
-	// Critical path: nonincreasing priority under the comparator — depth
-	// descending, ties broken by kind (diag < factor < update) then id.
-	cp, e := drain(SchedCriticalPath, false)
-	for i := 1; i < len(cp); i++ {
-		prev, cur := cp[i-1], cp[i]
-		if e.before(cur, prev) {
-			t.Fatalf("critical-path pop %d out of order: %+v before %+v", i, cur, prev)
-		}
-		if prev.depth == cur.depth && prev.kind == cur.kind && prev.id >= cur.id {
-			t.Fatalf("tie-break violated at pop %d: %+v then %+v", i, prev, cur)
-		}
-	}
-	// ... and the same total order no matter how the tasks were pushed.
-	cpRev, _ := drain(SchedCriticalPath, true)
-	for i := range cp {
-		if !sameTask(cp[i], cpRev[i]) {
-			t.Fatalf("critical-path order depends on push order at %d: %+v vs %+v",
-				i, cp[i], cpRev[i])
-		}
+			// FIFO pops in push order; LIFO in reverse push order.
+			fifo, _ := drain(SchedFIFO, false)
+			for i := range fifo {
+				if !sameTask(fifo[i], all[i]) {
+					t.Fatalf("FIFO pop %d = %+v, want %+v", i, fifo[i], all[i])
+				}
+			}
+			lifo, _ := drain(SchedLIFO, false)
+			for i := range lifo {
+				want := all[len(all)-1-i]
+				if !sameTask(lifo[i], want) {
+					t.Fatalf("LIFO pop %d = %+v, want %+v", i, lifo[i], want)
+				}
+			}
+
+			// Critical path: nonincreasing priority under the comparator —
+			// depth descending, ties broken by kind (diag < factor < update
+			// < apply) then id.
+			cp, e := drain(SchedCriticalPath, false)
+			for i := 1; i < len(cp); i++ {
+				prev, cur := cp[i-1], cp[i]
+				if e.before(cur, prev) {
+					t.Fatalf("critical-path pop %d out of order: %+v before %+v", i, cur, prev)
+				}
+				if prev.depth == cur.depth && prev.kind == cur.kind && prev.id >= cur.id {
+					t.Fatalf("tie-break violated at pop %d: %+v then %+v", i, prev, cur)
+				}
+			}
+			// ... and the same total order no matter how tasks were pushed.
+			cpRev, _ := drain(SchedCriticalPath, true)
+			for i := range cp {
+				if !sameTask(cp[i], cpRev[i]) {
+					t.Fatalf("critical-path order depends on push order at %d: %+v vs %+v",
+						i, cp[i], cpRev[i])
+				}
+			}
+		})
 	}
 }
 

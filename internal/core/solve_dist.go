@@ -45,7 +45,7 @@ func (f *Factor) SolveDistributed(b []float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	m2d := blockMapFor(opt.Mapping, opt.Ranks)
+	m2d := blockMapFor(opt.Mapping, opt.Ranks, st)
 
 	// Permute the RHS into factor ordering (read-only shared).
 	bp := make([]float64, n)

@@ -20,10 +20,7 @@ func bytesOf(m, n int) int64 { return int64(m) * int64(n) * 8 }
 // fraction.
 func buildSymPACKFactorDAG(st *symbolic.Structure, tg *symbolic.TaskGraph, cfg *Config) ([]simTask, float64) {
 	m := &cfg.Machine
-	var m2d symbolic.BlockMap = symbolic.NewMap2D(cfg.Ranks())
-	if cfg.Use1DMap {
-		m2d = symbolic.Map1D{NP: cfg.Ranks()}
-	}
+	m2d := cfg.blockMap(st)
 	nsn := st.NumSupernodes()
 	useGPU := cfg.GPUsPerNode > 0
 
@@ -140,10 +137,12 @@ func buildSymPACKFactorDAG(st *symbolic.Structure, tg *symbolic.TaskGraph, cfg *
 		id := uBase + int32(ui)
 		ba := &st.Blocks[u.BlkA]
 		bb := &st.Blocks[u.BlkB]
-		tgtBlk := &st.Blocks[u.Target]
 		w := st.Snodes[u.SrcSn].NCols()
 		mB, nA := int(bb.NRows), int(ba.NRows)
-		owner := int32(symbolic.OwnerOfBlock(m2d, tgtBlk))
+		// The update executes at the owner of the formulation's compute
+		// block: the target under fan-out, a source operand under
+		// fan-in/fan-both — the same placement rule the real engine uses.
+		owner := int32(symbolic.OwnerOfBlock(m2d, &st.Blocks[cfg.Formulation.ComputeBlock(u)]))
 		t := &tasks[id]
 		t.owner = owner
 		t.device = -1
@@ -181,8 +180,20 @@ func buildSymPACKFactorDAG(st *symbolic.Structure, tg *symbolic.TaskGraph, cfg *
 			fb := fTask(u.BlkB)
 			tasks[fb].succ = append(tasks[fb].succ, edge{to: id, bytes: bytesOf(mB, w), path: srcPath})
 		}
-		// Completion edge into the target's factor task (same owner).
-		tasks[id].succ = append(tasks[id].succ, edge{to: blockTask(u.Target)})
+		// Completion edge into the target's factor task: an in-place apply
+		// under fan-out (same owner, nothing on the wire), a delivered
+		// contribution message under fan-in/fan-both. The scheduler only
+		// charges the bytes when the endpoint owners differ, so a compute
+		// site that happens to be the target's owner delivers for free —
+		// matching the engine. The scatter itself stays charged on the U
+		// task (a modeling simplification; the apply is memory-bound and
+		// rank-local either way).
+		done := edge{to: blockTask(u.Target)}
+		if cfg.Formulation.DeliversContributions() {
+			done.bytes = bytesOf(mB, nA)
+			done.path = simnet.PathHostHost
+		}
+		tasks[id].succ = append(tasks[id].succ, done)
 	}
 	return tasks, share(gpuTasks, len(tasks))
 }

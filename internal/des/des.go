@@ -54,9 +54,18 @@ type Config struct {
 	GPUsPerNode  int // 0 disables offload
 	Machine      machine.Machine
 	Thresholds   gpu.Thresholds
-	// Use1DMap runs the symPACK personality under a 1D column
-	// distribution instead of the paper's 2D block-cyclic map — the
-	// ablation for §3.3's bottleneck argument.
+	// Formulation selects the task formulation the symPACK personality
+	// models (fan-out / fan-in / fan-both): where update flops execute and
+	// whether computed contributions travel to the target's owner. Mirrors
+	// core.Options.Formulation, so a variant simulates exactly what it
+	// runs.
+	Formulation symbolic.Formulation
+	// Mapping selects the block→process distribution (2D block-cyclic /
+	// 1D columns / proportional subtree). Mirrors core.Options.Mapping.
+	Mapping symbolic.MappingKind
+	// Use1DMap is the legacy spelling of Mapping == Map1DCols, kept for
+	// existing ablation callers; it applies only when Mapping is left at
+	// the 2D default.
 	Use1DMap bool
 	// ModelNICContention serializes each node's outbound transfers
 	// through its NICs (Perlmutter has four per node) instead of treating
@@ -69,6 +78,16 @@ type Config struct {
 
 // Ranks returns the total process count.
 func (c *Config) Ranks() int { return c.Nodes * c.RanksPerNode }
+
+// blockMap resolves the configured block distribution (honoring the legacy
+// Use1DMap spelling).
+func (c *Config) blockMap(st *symbolic.Structure) symbolic.BlockMap {
+	kind := c.Mapping
+	if c.Use1DMap && kind == symbolic.Map2DCyclic {
+		kind = symbolic.Map1DCols
+	}
+	return symbolic.NewBlockMap(kind, c.Ranks(), st)
+}
 
 // Result reports the modeled times of one run.
 type Result struct {

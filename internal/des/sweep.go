@@ -28,6 +28,10 @@ type SweepConfig struct {
 	GPUsPerNode int
 	Machine     machine.Machine
 	Thresholds  gpu.Thresholds
+	// Formulation and Mapping select the scheduling variant the symPACK
+	// personality sweeps (zero values: fan-out on the 2D cyclic map).
+	Formulation symbolic.Formulation
+	Mapping     symbolic.MappingKind
 }
 
 // DefaultSweep mirrors the paper's experiment grid: 1–64 Perlmutter GPU
@@ -63,6 +67,8 @@ func StrongScaling(st *symbolic.Structure, tg *symbolic.TaskGraph, sc SweepConfi
 					GPUsPerNode:  sc.GPUsPerNode,
 					Machine:      sc.Machine,
 					Thresholds:   sc.Thresholds,
+					Formulation:  sc.Formulation,
+					Mapping:      sc.Mapping,
 				})
 				if err != nil {
 					errs[pi] = err

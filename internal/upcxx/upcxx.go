@@ -284,6 +284,15 @@ func (r *Rank) NewArray(n int) GlobalPtr {
 	return GlobalPtr{Rank: int32(r.ID), Kind: simnet.Host, Data: make([]float64, n)}
 }
 
+// NewArrayFrom adopts an already-populated local buffer into this rank's
+// shared segment and returns a global pointer to it, so a computed result
+// (e.g. an update contribution under the fan-in/fan-both formulations) can
+// be published for one-sided gets without a copy. The caller must not write
+// to the buffer after publishing it.
+func (r *Rank) NewArrayFrom(data []float64) GlobalPtr {
+	return GlobalPtr{Rank: int32(r.ID), Kind: simnet.Host, Data: data}
+}
+
 // DeviceAlloc allocates n elements on this rank's device via the device
 // allocator (upcxx::device_allocator). It returns gpu.ErrOutOfMemory when
 // the device is full — the trigger for the solver's fallback options — and

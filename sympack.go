@@ -89,6 +89,38 @@ const (
 	SchedCriticalPath = core.SchedCriticalPath
 )
 
+// Formulation selects the task formulation for Options.Formulation: where
+// each update's flops execute and whether computed contributions travel to
+// the target block's owner (fan-out computes at the target; fan-in at the
+// left source operand's owner; fan-both at the transposed operand's owner).
+// All formulations are conformance-pinned to produce bit-identical factors.
+type Formulation = core.Formulation
+
+// Task formulations for Options.Formulation.
+const (
+	FanOut  = core.FanOut
+	FanIn   = core.FanIn
+	FanBoth = core.FanBoth
+)
+
+// ParseFormulation parses a formulation name ("fan-out", "fan-in",
+// "fan-both", and common abbreviations) as accepted by the CLI flags.
+func ParseFormulation(s string) (Formulation, error) { return symbolic.ParseFormulation(s) }
+
+// MappingKind selects the block→process distribution for Options.Mapping.
+type MappingKind = core.MappingKind
+
+// Block mappings for Options.Mapping.
+const (
+	Map2DCyclic = core.Map2DCyclic // 2D block-cyclic (the paper's map(i,j))
+	Map1DCols   = core.Map1DCols   // 1D column-cyclic
+	MapSubtree  = core.MapSubtree  // proportional to elimination-subtree work
+)
+
+// ParseMapping parses a mapping name ("2d-cyclic", "1d-cols", "subtree",
+// and common abbreviations) as accepted by the CLI flags.
+func ParseMapping(s string) (MappingKind, error) { return symbolic.ParseMapping(s) }
+
 // Factor is a completed Cholesky factorization; call Solve or SolveMulti.
 type Factor = core.Factor
 
