@@ -1,0 +1,110 @@
+package main
+
+// Ratchet mode. A baseline is a JSONL file of findings (the -json wire
+// schema, one object per line) recording the debt the team has accepted
+// so far. `sympacklint -baseline lint-baseline.jsonl ./...` then fails
+// only on findings NOT in the baseline — CI ratchets: existing debt is
+// tolerated, new debt is rejected, and paying debt down just means
+// rewriting the baseline with -write-baseline (shrinking it is always
+// safe to merge).
+//
+// Matching deliberately ignores the line number: an unrelated edit above
+// a baselined finding moves it without changing what it is. The key is
+// the module-root-relative file path, the analyzer, and the exact
+// message. Suppressed findings and notes never enter a baseline; they do
+// not gate the exit code in the first place.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sympack/internal/lint/analysis"
+)
+
+// baseline is the set of accepted findings, keyed file|analyzer|message.
+type baseline map[string]bool
+
+func baselineKey(relFile, analyzer, message string) string {
+	return relFile + "|" + analyzer + "|" + message
+}
+
+// relFile renders a diagnostic's file path relative to the module root,
+// slash-separated, so baselines are portable across checkouts.
+func relFile(modRoot string, fset *token.FileSet, d analysis.Diagnostic) string {
+	name := fset.Position(d.Pos).Filename
+	if rel, err := filepath.Rel(modRoot, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(name)
+}
+
+func (b baseline) has(modRoot string, fset *token.FileSet, d analysis.Diagnostic) bool {
+	return b[baselineKey(relFile(modRoot, fset, d), d.Analyzer, d.Message)]
+}
+
+// readBaseline parses a JSONL baseline. An empty (or all-blank) file is a
+// valid empty baseline — the committed starting point.
+func readBaseline(path string) (baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	defer f.Close()
+	b := baseline{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var jd jsonDiagnostic
+		if err := json.Unmarshal([]byte(line), &jd); err != nil {
+			return nil, fmt.Errorf("baseline %s:%d: %w", path, lineNo, err)
+		}
+		b[baselineKey(filepath.ToSlash(jd.File), jd.Analyzer, jd.Message)] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// writeBaseline records the current gating findings (unsuppressed,
+// non-note) as a JSONL baseline with module-root-relative paths.
+func writeBaseline(path, modRoot string, fset *token.FileSet, diags []analysis.Diagnostic) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, d := range diags {
+		if d.Suppressed || d.Note {
+			continue
+		}
+		pos := fset.Position(d.Pos)
+		out, err := json.Marshal(jsonDiagnostic{
+			File:       relFile(modRoot, fset, d),
+			Line:       pos.Line,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Suppressed: false,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\n", out)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	return nil
+}

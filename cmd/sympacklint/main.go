@@ -34,9 +34,21 @@ func main() {
 }
 
 func run(args []string) int {
-	jsonOut := false
+	var opts options
 	var rest []string
-	for _, a := range args {
+	takeValue := func(i *int, name, inline string) (string, bool) {
+		if inline != "" {
+			return inline, true
+		}
+		if *i+1 < len(args) {
+			*i++
+			return args[*i], true
+		}
+		fmt.Fprintf(os.Stderr, "sympacklint: %s requires a file argument\n", name)
+		return "", false
+	}
+	for i := 0; i < len(args); i++ {
+		a := args[i]
 		switch {
 		case strings.HasPrefix(a, "-V"):
 			printVersion()
@@ -50,24 +62,44 @@ func run(args []string) int {
 			usage()
 			return 0
 		case a == "-json" || a == "--json":
-			jsonOut = true
+			opts.jsonOut = true
+		case a == "-baseline" || strings.HasPrefix(a, "-baseline="):
+			v, ok := takeValue(&i, "-baseline", strings.TrimPrefix(strings.TrimPrefix(a, "-baseline"), "="))
+			if !ok {
+				return 1
+			}
+			opts.baseline = v
+		case a == "-write-baseline" || strings.HasPrefix(a, "-write-baseline="):
+			v, ok := takeValue(&i, "-write-baseline", strings.TrimPrefix(strings.TrimPrefix(a, "-write-baseline"), "="))
+			if !ok {
+				return 1
+			}
+			opts.writeBaseline = v
 		default:
 			rest = append(rest, a)
 		}
 	}
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
-		return runVet(rest[0], jsonOut)
+		return runVet(rest[0], opts.jsonOut)
 	}
-	return runStandalone(rest, jsonOut)
+	return runStandalone(rest, opts)
+}
+
+// options collects the standalone-mode flags.
+type options struct {
+	jsonOut       bool
+	baseline      string // compare findings against this JSONL baseline
+	writeBaseline string // write the current findings here and exit 0
 }
 
 func usage() {
-	fmt.Printf("usage: sympacklint [-json] [package pattern ...]   (default ./...)\n\nanalyzers:\n")
+	fmt.Printf("usage: sympacklint [-json] [-baseline file | -write-baseline file] [package pattern ...]   (default ./...)\n\nanalyzers:\n")
 	for _, a := range lint.Analyzers() {
 		fmt.Printf("  %-20s %s\n", a.Name, a.Doc)
 	}
 	fmt.Printf("\nsuppress an audited finding with: //lint:ignore <analyzer> <reason>\n")
-	fmt.Printf("-json emits one diagnostic per line (file, line, analyzer, message,\nsuppressed) including audited suppressions; the exit code still counts\nonly unsuppressed findings\n")
+	fmt.Printf("-json emits one diagnostic per line (file, line, analyzer, message,\nsuppressed, note) including audited suppressions; the exit code still\ncounts only unsuppressed findings\n")
+	fmt.Printf("-baseline compares findings against a JSONL baseline (ratchet mode):\nonly findings absent from the baseline gate the exit code;\n-write-baseline records the current findings and exits 0\n")
 }
 
 // jsonDiagnostic is the -json wire format: one object per line, stable
@@ -78,6 +110,7 @@ type jsonDiagnostic struct {
 	Analyzer   string `json:"analyzer"`
 	Message    string `json:"message"`
 	Suppressed bool   `json:"suppressed"`
+	Note       bool   `json:"note,omitempty"`
 }
 
 func printJSON(w io.Writer, fset *token.FileSet, d analysis.Diagnostic) {
@@ -88,6 +121,7 @@ func printJSON(w io.Writer, fset *token.FileSet, d analysis.Diagnostic) {
 		Analyzer:   d.Analyzer,
 		Message:    d.Message,
 		Suppressed: d.Suppressed,
+		Note:       d.Note,
 	})
 	fmt.Fprintf(w, "%s\n", out)
 }
@@ -107,7 +141,7 @@ func printVersion() {
 	fmt.Printf("%s version devel buildID=%x\n", name, h.Sum(nil)[:16])
 }
 
-func runStandalone(patterns []string, jsonOut bool) int {
+func runStandalone(patterns []string, opts options) int {
 	wd, err := os.Getwd()
 	if err != nil {
 		return fail(err)
@@ -139,20 +173,49 @@ func runStandalone(patterns []string, jsonOut bool) int {
 	if err != nil {
 		return fail(err)
 	}
+
+	if opts.writeBaseline != "" {
+		if err := writeBaseline(opts.writeBaseline, modRoot, fset, diags); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+	var base baseline
+	if opts.baseline != "" {
+		base, err = readBaseline(opts.baseline)
+		if err != nil {
+			return fail(err)
+		}
+	}
+
 	findings := 0
 	for _, d := range diags {
-		if jsonOut {
+		gates := !d.Suppressed && !d.Note
+		if gates && base != nil && base.has(modRoot, fset, d) {
+			// Ratchet mode: a pre-existing finding recorded in the
+			// baseline does not gate; only regressions do.
+			gates = false
+		}
+		switch {
+		case opts.jsonOut:
 			printJSON(os.Stdout, fset, d)
-		} else if !d.Suppressed {
+		case d.Note:
+			pos := fset.Position(d.Pos)
+			fmt.Printf("%s: note: [%s] %s\n", relTo(wd, pos), d.Analyzer, d.Message)
+		case gates:
 			pos := fset.Position(d.Pos)
 			fmt.Printf("%s: [%s] %s\n", relTo(wd, pos), d.Analyzer, d.Message)
 		}
-		if !d.Suppressed {
+		if gates {
 			findings++
 		}
 	}
 	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "sympacklint: %d finding(s)\n", findings)
+		if base != nil {
+			fmt.Fprintf(os.Stderr, "sympacklint: %d new finding(s) not in baseline\n", findings)
+		} else {
+			fmt.Fprintf(os.Stderr, "sympacklint: %d finding(s)\n", findings)
+		}
 		return 2
 	}
 	return 0

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// scratchModule writes a tiny sympack-named module with three findings:
+// an unsuppressed wallclock read, a suppressed one, and a stale
+// //lint:ignore that trips unusedignore. Deterministic input for the
+// -json schema and baseline-ratchet tests.
+func scratchModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module sympack\n\ngo 1.22\n")
+	write("internal/core/bad.go", `package core
+
+import "time"
+
+// The raw clock read the wallclock analyzer exists to stop.
+var epoch = time.Now()
+
+func human() time.Time {
+	//lint:ignore wallclock operator-facing timestamp, never schedules work
+	return time.Now()
+}
+
+func fixedAlready() int {
+	//lint:ignore wallclock stale: the clock read below was removed
+	return 1
+}
+`)
+	return root
+}
+
+// capture runs f with os.Stdout redirected to a pipe and returns what it
+// printed alongside its return code.
+func capture(t *testing.T, f func() int) (string, int) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	rc := f()
+	w.Close()
+	os.Stdout = old
+	return <-done, rc
+}
+
+// TestJSONGolden pins the -json wire schema (one object per line: file,
+// line, analyzer, message, suppressed, plus note only when set) against a
+// committed golden file, so downstream tooling can depend on it.
+func TestJSONGolden(t *testing.T) {
+	root := scratchModule(t)
+	t.Chdir(root)
+	out, rc := capture(t, func() int { return run([]string{"-json", "./..."}) })
+	if rc != 2 {
+		t.Fatalf("exit code = %d, want 2 (unsuppressed findings present)", rc)
+	}
+
+	// Golden comparison with the temp root normalized out.
+	normalized := strings.ReplaceAll(out, root, "MOD")
+	golden := filepath.Join(testdataDir(t), "json.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(normalized), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if normalized != string(want) {
+		t.Errorf("-json output drifted from golden:\n--- got ---\n%s--- want ---\n%s", normalized, want)
+	}
+
+	// Schema pin independent of the golden bytes: every line is an object
+	// with exactly the documented fields, required ones always present.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var obj map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %q is not a JSON object: %v", line, err)
+		}
+		for _, k := range []string{"file", "line", "analyzer", "message", "suppressed"} {
+			if _, ok := obj[k]; !ok {
+				t.Errorf("line %q missing required key %q", line, k)
+			}
+		}
+		for k := range obj {
+			switch k {
+			case "file", "line", "analyzer", "message", "suppressed", "note":
+			default:
+				t.Errorf("line %q has undocumented key %q", line, k)
+			}
+		}
+	}
+}
+
+// pkgDir is the package source directory, captured before any t.Chdir
+// moves the test into a temp module; the golden file lives under it.
+var pkgDir string
+
+func TestMain(m *testing.M) {
+	if wd, err := os.Getwd(); err == nil {
+		pkgDir = wd
+	}
+	os.Exit(m.Run())
+}
+
+func testdataDir(t *testing.T) string {
+	t.Helper()
+	if pkgDir == "" {
+		t.Fatal("package dir not captured")
+	}
+	return filepath.Join(pkgDir, "testdata")
+}
+
+// TestBaselineRatchet covers -write-baseline / -baseline: recorded
+// findings stop gating, new findings still fail, and the committed empty
+// baseline format (comments and blank lines) parses.
+func TestBaselineRatchet(t *testing.T) {
+	root := scratchModule(t)
+	t.Chdir(root)
+	basePath := filepath.Join(root, "base.jsonl")
+
+	if _, rc := capture(t, func() int { return run([]string{"-write-baseline", basePath, "./..."}) }); rc != 0 {
+		t.Fatalf("-write-baseline exit = %d, want 0", rc)
+	}
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("baseline has %d entries, want 2 (wallclock + unusedignore): %q", len(lines), data)
+	}
+	for _, l := range lines {
+		if strings.Contains(l, root) {
+			t.Errorf("baseline entry %q embeds the absolute module root; want relative paths", l)
+		}
+	}
+
+	// Everything is baselined: the ratchet passes.
+	if out, rc := capture(t, func() int { return run([]string{"-baseline", basePath, "./..."}) }); rc != 0 {
+		t.Fatalf("-baseline over recorded findings exit = %d, want 0; out=%s", rc, out)
+	}
+
+	// A new finding is not in the baseline: the ratchet fails.
+	newFile := filepath.Join(root, "internal", "core", "worse.go")
+	if err := os.WriteFile(newFile, []byte("package core\n\nimport \"time\"\n\nvar later = time.Now()\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	out, rc := capture(t, func() int { return run([]string{"-baseline", basePath, "./..."}) })
+	if rc != 2 {
+		t.Fatalf("-baseline with a new finding exit = %d, want 2; out=%s", rc, out)
+	}
+	if !strings.Contains(out, "worse.go") || strings.Contains(out, "bad.go") {
+		t.Errorf("ratchet output should report only the new finding, got:\n%s", out)
+	}
+
+	// The committed empty-baseline format (comment header only) parses
+	// and tolerates nothing.
+	empty := filepath.Join(root, "empty.jsonl")
+	if err := os.WriteFile(empty, []byte("# header comment\n\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, rc := capture(t, func() int { return run([]string{"-baseline", empty, "./..."}) }); rc != 2 {
+		t.Fatalf("-baseline with empty baseline exit = %d, want 2", rc)
+	}
+}

@@ -175,12 +175,15 @@ func runVet(cfgFile string, jsonOut bool) int {
 	}
 	findings := 0
 	for _, d := range diags {
-		if jsonOut {
+		switch {
+		case jsonOut:
 			printJSON(os.Stdout, fset, d)
-		} else if !d.Suppressed {
+		case d.Note:
+			fmt.Fprintf(os.Stderr, "%s: note: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		case !d.Suppressed:
 			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
 		}
-		if !d.Suppressed {
+		if !d.Suppressed && !d.Note {
 			findings++
 		}
 	}

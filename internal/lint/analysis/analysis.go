@@ -83,14 +83,20 @@ type Diagnostic struct {
 	// -json report shows them; the exit code ignores them) so a
 	// suppression is always visible, never a silent deletion.
 	Suppressed bool
+
+	// Note marks an informational diagnostic that never gates the build:
+	// the suppression audit emits one when a sharded run leaves it unable
+	// to judge a directive ("audit skipped: analyzers X did not run"), so
+	// partial CI shards say so out loud instead of silently passing.
+	Note bool
 }
 
 // Unsuppressed filters a diagnostic stream down to the findings that
-// gate the build.
+// gate the build: suppressed findings and informational notes drop out.
 func Unsuppressed(diags []Diagnostic) []Diagnostic {
 	var out []Diagnostic
 	for _, d := range diags {
-		if !d.Suppressed {
+		if !d.Suppressed && !d.Note {
 			out = append(out, d)
 		}
 	}

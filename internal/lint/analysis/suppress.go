@@ -101,7 +101,9 @@ func (d *ignoreDirective) matches(analyzer string, line int) bool {
 // "unusedignore" finding. ran lists the analyzers that actually executed:
 // a directive is only judged unused when every analyzer it names ran (or
 // it is the wildcard), since a directive for an analyzer outside the run
-// may be doing its job invisibly.
+// may be doing its job invisibly. An unjudgeable directive yields an
+// informational note ("audit skipped: ...") rather than nothing, so
+// sharded runs cannot silently drop the audit.
 func Audit(fset *token.FileSet, files []*ast.File, diags []Diagnostic, ran []string, auditUnused bool) []Diagnostic {
 	ignores, malformed := collectIgnores(fset, files)
 	out := make([]Diagnostic, 0, len(diags)+len(malformed))
@@ -127,14 +129,23 @@ func Audit(fset *token.FileSet, files []*ast.File, diags []Diagnostic, ran []str
 				if dir.used {
 					continue
 				}
-				judgeable := true
+				var missing []string
 				for _, a := range dir.analyzers {
 					if !ranSet[a] {
-						judgeable = false
-						break
+						missing = append(missing, a)
 					}
 				}
-				if !judgeable {
+				if len(missing) > 0 {
+					// Sharded runs (CI variant matrices, RunDirs subsets)
+					// cannot judge this directive; say so instead of
+					// silently skipping the audit.
+					out = append(out, Diagnostic{
+						Pos: dir.pos,
+						Message: "audit skipped: analyzers " + strings.Join(missing, ",") +
+							" did not run — this //lint:ignore cannot be judged stale or live in this shard",
+						Analyzer: "unusedignore",
+						Note:     true,
+					})
 					continue
 				}
 				out = append(out, Diagnostic{

@@ -133,18 +133,37 @@ func TestAuditUnusedDirectives(t *testing.T) {
 	file := fset.File(f.Pos())
 	// Only a check1 finding on line 5: the directive on line 4 is used,
 	// the check1,check2 directive on line 10 and the malformed one stay
-	// unused; check2 did not run, so the line-10 directive is unjudged.
+	// unused; check2 did not run, so the line-10 directive is unjudged —
+	// which must now surface as an explicit audit-skipped note, not
+	// silence, and never as a gating unusedignore finding.
 	got := Audit(fset, []*ast.File{f}, []Diagnostic{
 		{Pos: file.LineStart(5), Message: "finding", Analyzer: "check1"},
 	}, []string{"check1"}, true)
-	var unused []Diagnostic
+	var unused, notes []Diagnostic
 	for _, d := range got {
-		if d.Analyzer == "unusedignore" {
+		if d.Analyzer != "unusedignore" {
+			continue
+		}
+		if d.Note {
+			notes = append(notes, d)
+		} else {
 			unused = append(unused, d)
 		}
 	}
 	if len(unused) != 0 {
 		t.Fatalf("unused directives with partial run = %d, want 0 (check2 did not run): %+v", len(unused), unused)
+	}
+	if len(notes) != 1 {
+		t.Fatalf("audit-skipped notes with partial run = %d, want 1: %+v", len(notes), notes)
+	}
+	if !strings.Contains(notes[0].Message, "audit skipped: analyzers check2 did not run") {
+		t.Errorf("note message = %q, want the missing analyzer named", notes[0].Message)
+	}
+	if pos := fset.Position(notes[0].Pos); pos.Line != 10 {
+		t.Errorf("note reported at line %d, want 10 (the unjudgeable directive)", pos.Line)
+	}
+	if len(Unsuppressed(notes)) != 0 {
+		t.Errorf("notes must not gate the build, but Unsuppressed kept %d", len(Unsuppressed(notes)))
 	}
 	// With both analyzers in the run, the line-10 directive is judgeable
 	// and unused.

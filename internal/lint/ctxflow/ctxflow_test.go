@@ -1,0 +1,18 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"sympack/internal/lint/analysistest"
+	"sympack/internal/lint/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer, "sympack/internal/core")
+}
+
+// TestScopeGate pins that the same shapes stay silent outside the
+// request-path packages.
+func TestScopeGate(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer, "sympack/internal/offpath")
+}

@@ -1,0 +1,93 @@
+// Package core exercises the ctxflow rules inside a request-path
+// package: fresh-context materialization, Ctx-variant siblings, and the
+// all-paths derivation dataflow.
+package core
+
+import (
+	"context"
+	"time"
+)
+
+type Solver struct{}
+
+func (s *Solver) Solve() {}
+
+func (s *Solver) SolveCtx(ctx context.Context) {}
+
+func (s *Solver) Refine() {}
+
+func fetch() {}
+
+func fetchCtx(ctx context.Context) {}
+
+// dropsVariant calls the ctx-less API with a context in hand.
+func dropsVariant(ctx context.Context, s *Solver) {
+	s.Solve() // want "Solve drops the request context but SolveCtx exists"
+	fetch()   // want "fetch drops the request context but fetchCtx exists"
+	s.SolveCtx(ctx)
+	fetchCtx(ctx)
+	s.Refine() // no Ctx sibling: nothing to prefer
+}
+
+// materializes manufactures fresh contexts downstream of the request.
+func materializes(ctx context.Context, s *Solver) {
+	c := context.Background() // want "context.Background.. materialized downstream of a request"
+	s.SolveCtx(c) // want "context c is not derived from the request context on every path"
+	s.SolveCtx(context.TODO()) // want "context.TODO.. materialized downstream of a request"
+}
+
+// derivedChain threads the request context through With* wrappers.
+func derivedChain(ctx context.Context, s *Solver) {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	s.SolveCtx(c)
+	s.SolveCtx(context.WithValue(c, "k", "v"))
+}
+
+// partialDerive rebinds the context to a fresh one on one arm only; the
+// call site after the merge must flag the variable.
+func partialDerive(ctx context.Context, s *Solver, cond bool) {
+	c := ctx
+	if cond {
+		c = context.TODO() // want "context.TODO.. materialized downstream of a request"
+	}
+	s.SolveCtx(c) // want "context c is not derived from the request context on every path"
+}
+
+// rederived loses the context on one arm but restores it before the
+// call: the must-analysis sees both paths derived again.
+func rederived(ctx context.Context, s *Solver, cond bool) {
+	c := ctx
+	if cond {
+		c = context.TODO() // want "context.TODO.. materialized downstream of a request"
+		c = ctx
+	}
+	s.SolveCtx(c)
+}
+
+// loopRebind kills derivation inside a loop; the back edge carries the
+// fresh binding into the next iteration's call.
+func loopRebind(ctx context.Context, s *Solver, n int) {
+	c := ctx
+	for i := 0; i < n; i++ {
+		s.SolveCtx(c) // want "context c is not derived from the request context on every path"
+		c = context.TODO() // want "context.TODO.. materialized downstream of a request"
+	}
+}
+
+// noCtxParam is off the request path: no context parameter, no rules.
+func noCtxParam(s *Solver) {
+	s.Solve()
+	c := context.Background()
+	s.SolveCtx(c)
+}
+
+// detached launches a goroutine that legitimately outlives the request;
+// function literals are outside the rules.
+func detached(ctx context.Context, s *Solver) {
+	go func() {
+		s.Solve()
+		s.SolveCtx(context.Background())
+	}()
+	s.SolveCtx(ctx)
+}

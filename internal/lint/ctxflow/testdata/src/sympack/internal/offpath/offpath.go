@@ -1,0 +1,17 @@
+// Package offpath is outside the request-path scope: the same shapes
+// that trip ctxflow in internal/core must stay silent here.
+package offpath
+
+import "context"
+
+type Worker struct{}
+
+func (w *Worker) Run() {}
+
+func (w *Worker) RunCtx(ctx context.Context) {}
+
+func replay(ctx context.Context, w *Worker) {
+	w.Run()
+	c := context.Background()
+	w.RunCtx(c)
+}

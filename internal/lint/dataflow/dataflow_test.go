@@ -1,0 +1,161 @@
+package dataflow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"sympack/internal/lint/cfg"
+	"sympack/internal/lint/dataflow"
+)
+
+// build parses one function body and returns its CFG.
+func build(t *testing.T, body string) *cfg.Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return cfg.New(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// gen returns a transfer function that adds the name of every variable
+// assigned in the block (x := / x =) to the set — a tiny "definitely
+// assigned" analysis when run forward with intersection join.
+func gen() func(b *cfg.Block, in dataflow.Set) dataflow.Set {
+	return func(b *cfg.Block, in dataflow.Set) dataflow.Set {
+		for _, n := range b.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					in[id.Name] = true
+				}
+			}
+		}
+		return in
+	}
+}
+
+func TestForwardMustIntersectsAtJoin(t *testing.T) {
+	// y is assigned only on the then-arm, z on both arms: at the join,
+	// must-analysis keeps z but drops y.
+	g := build(t, "x := 1\nif x > 0 {\n\ty := 1\n\tz := y\n\t_ = z\n} else {\n\tz := 2\n\t_ = z\n}\nreturn")
+	lat := dataflow.SetLattice{Intersect: true}
+	res := dataflow.Solve(g, lat, dataflow.Forward, dataflow.Set{}, gen())
+	exitIn := res.In[g.Exit]
+	if !exitIn["x"] || !exitIn["z"] {
+		t.Fatalf("x and z must be definitely assigned at exit, got %v", exitIn)
+	}
+	if exitIn["y"] {
+		t.Fatalf("y assigned on one arm only, must not survive the join: %v", exitIn)
+	}
+}
+
+func TestForwardMayUnionsAtJoin(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 {\n\ty := 1\n\t_ = y\n} else {\n\tz := 2\n\t_ = z\n}\nreturn")
+	lat := dataflow.SetLattice{}
+	res := dataflow.Solve(g, lat, dataflow.Forward, dataflow.Set{}, gen())
+	exitIn := res.In[g.Exit]
+	for _, v := range []string{"x", "y", "z"} {
+		if !exitIn[v] {
+			t.Errorf("may-analysis must keep %s at exit, got %v", v, exitIn)
+		}
+	}
+}
+
+func TestLoopReachesFixpoint(t *testing.T) {
+	// The loop body assigns y; the fact must propagate around the back
+	// edge without looping forever.
+	g := build(t, "x := 0\nfor i := 0; i < 3; i++ {\n\ty := i\n\t_ = y\n\tx = y\n}\nreturn")
+	lat := dataflow.SetLattice{}
+	res := dataflow.Solve(g, lat, dataflow.Forward, dataflow.Set{}, gen())
+	exitIn := res.In[g.Exit]
+	if !exitIn["x"] || !exitIn["y"] {
+		t.Fatalf("loop facts missing at exit: %v", exitIn)
+	}
+}
+
+func TestBackwardLiveness(t *testing.T) {
+	// Backward may-analysis: a variable used in a block is "live" at
+	// every point that can reach the use.
+	g := build(t, "x := 1\nif x > 0 {\n\tprintln(x)\n}\nreturn")
+	lat := dataflow.SetLattice{}
+	transfer := func(b *cfg.Block, in dataflow.Set) dataflow.Set {
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(nn ast.Node) bool {
+				if call, ok := nn.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "println" {
+						in["use"] = true
+					}
+				}
+				return true
+			})
+		}
+		return in
+	}
+	res := dataflow.Solve(g, lat, dataflow.Backward, dataflow.Set{}, transfer)
+	// In backward mode Out[b] is the state at block *entry*; the use
+	// must be visible at the entry block's entry point.
+	if !res.Out[g.Entry]["use"] {
+		t.Fatalf("use not propagated backward to entry: out=%v", res.Out[g.Entry])
+	}
+}
+
+func TestBackwardMustDropsOneArmFact(t *testing.T) {
+	// "use" happens only on the then-arm; a backward must-analysis may
+	// not claim it happens on every path from the condition onward.
+	g := build(t, "x := 1\nif x > 0 {\n\tprintln(x)\n} else {\n\t_ = x\n}\nreturn")
+	lat := dataflow.SetLattice{Intersect: true}
+	transfer := func(b *cfg.Block, in dataflow.Set) dataflow.Set {
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(nn ast.Node) bool {
+				if call, ok := nn.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "println" {
+						in["use"] = true
+					}
+				}
+				return true
+			})
+		}
+		return in
+	}
+	res := dataflow.Solve(g, lat, dataflow.Backward, dataflow.Set{}, transfer)
+	if res.Out[g.Entry]["use"] {
+		t.Fatalf("one-arm use must not survive backward intersection: %v", res.Out[g.Entry])
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	body := "x := 0\nfor i := 0; i < 3; i++ {\n\tif i == 1 {\n\t\tcontinue\n\t}\n\tx = i\n}\nswitch x {\ncase 1:\n\tx = 2\ndefault:\n\tx = 3\n}\nreturn"
+	var prev string
+	for run := 0; run < 5; run++ {
+		g := build(t, body)
+		res := dataflow.Solve(g, dataflow.SetLattice{Intersect: true}, dataflow.Forward, dataflow.Set{}, gen())
+		// Serialize exit state in sorted order.
+		exitIn := res.In[g.Exit]
+		keys := make([]string, 0, len(exitIn))
+		for k := range exitIn {
+			keys = append(keys, k)
+		}
+		// insertion sort (tiny)
+		for i := 1; i < len(keys); i++ {
+			for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			}
+		}
+		s := ""
+		for _, k := range keys {
+			s += k + ";"
+		}
+		if run > 0 && s != prev {
+			t.Fatalf("run %d differs: %q vs %q", run, s, prev)
+		}
+		prev = s
+	}
+}

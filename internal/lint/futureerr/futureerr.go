@@ -27,6 +27,21 @@
 //     f := r.Rget(src, dst)
 //     _ = f.Wait()              // duration read, error dropped: reported
 //
+//   - Futures consulted on some but not all paths (CFG-based): when the
+//     consulting uses exist but a path from the binding to return avoids
+//     every one of them, the error is dropped exactly on that path. The
+//     check runs a backward must-dataflow over the function's control-flow
+//     graph (internal/lint/cfg + internal/lint/dataflow): "consulted" must
+//     hold at the binding point under intersection join, i.e. on every
+//     path to return. Panic paths are excused, and uses inside function
+//     literals or deferred calls fall back to the any-use rule — closure
+//     execution timing is outside the graph.
+//
+//     f := r.Rget(src, dst)
+//     if cond {
+//         return f.Err()        // the !cond path drops the error: reported
+//     }
+//
 // Cross-package wrappers are chased through Facts: analyzing a package
 // exports, for every function with future-typed parameters, which of
 // those parameters the function (transitively) consults, plus a package
@@ -45,6 +60,8 @@ import (
 	"sort"
 
 	"sympack/internal/lint/analysis"
+	"sympack/internal/lint/cfg"
+	"sympack/internal/lint/dataflow"
 )
 
 // futurePath/futureName identify the runtime's error-carrying future type.
@@ -93,6 +110,34 @@ type funcInfo struct {
 	decl    *ast.FuncDecl
 	obj     *types.Func
 	parents map[ast.Node]ast.Node
+	graph   *cfg.Graph // built lazily for the all-paths check
+}
+
+// cfgOf returns the function's control-flow graph, building it on first
+// use.
+func (fi *funcInfo) cfgOf() *cfg.Graph {
+	if fi.graph == nil {
+		fi.graph = cfg.New(fi.decl.Body)
+	}
+	return fi.graph
+}
+
+// enclosedBy reports whether n sits inside a node of the given kinds
+// (function literal, defer) within fi's body.
+func (fi *funcInfo) enclosedBy(n ast.Node, funcLit, deferStmt bool) bool {
+	for p := fi.parents[n]; p != nil; p = fi.parents[p] {
+		switch p.(type) {
+		case *ast.FuncLit:
+			if funcLit {
+				return true
+			}
+		case *ast.DeferStmt:
+			if deferStmt {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func collectFuncs(pass *analysis.Pass) []*funcInfo {
@@ -256,13 +301,116 @@ func reportUnconsulted(pass *analysis.Pass, fns []*funcInfo, consumes map[*types
 			return true
 		})
 		for _, b := range bindings {
-			if !consultsObject(pass, fi, b.obj, consumes) {
+			uses := consultingUses(pass, fi, b.obj, consumes)
+			if len(uses) == 0 {
 				pass.Reportf(b.id.Pos(),
 					"future bound to %s but its Err/OK result is never consulted — "+
 						"check it, return it, or pass it to a consuming function", b.obj.Name())
+				continue
+			}
+			// All-paths check. Bindings inside function literals live in a
+			// different graph, and uses inside literals or defers execute
+			// at times the graph does not model: both fall back to the
+			// any-use rule that just passed.
+			if fi.enclosedBy(b.id, true, false) {
+				continue
+			}
+			deferredUse := false
+			for _, u := range uses {
+				if fi.enclosedBy(u, true, true) {
+					deferredUse = true
+					break
+				}
+			}
+			if deferredUse {
+				continue
+			}
+			if !consultedOnAllPaths(fi, b.id, uses) {
+				pass.Reportf(b.id.Pos(),
+					"future bound to %s but its Err/OK result is not consulted on every "+
+						"path to return — a path that skips the check drops a transient-fault error",
+					b.obj.Name())
 			}
 		}
 	}
+}
+
+// consultedOnAllPaths runs the backward must-dataflow: "consulted" must
+// hold at the binding's program point on every path to the function exit.
+// Panic-terminated paths are excused.
+func consultedOnAllPaths(fi *funcInfo, bindID *ast.Ident, uses []*ast.Ident) bool {
+	g := fi.cfgOf()
+
+	// Locate the binding's block and node. The innermost (last-matching)
+	// containing node wins, so a binding inside a range header maps to the
+	// header block, not the loop's span.
+	var bindBlock *cfg.Block
+	bindIdx := -1
+	nodeContains := func(n ast.Node, id *ast.Ident) bool {
+		return n.Pos() <= id.Pos() && id.Pos() < n.End()
+	}
+	for _, blk := range g.Reachable() {
+		for i, n := range blk.Nodes {
+			if nodeContains(n, bindID) {
+				bindBlock, bindIdx = blk, i
+			}
+		}
+	}
+	if bindBlock == nil {
+		return true // dead code: no path to return exists, nothing to drop
+	}
+
+	// A consulting use later in the binding's own block settles it.
+	for _, u := range uses {
+		for i := bindIdx + 1; i < len(bindBlock.Nodes); i++ {
+			if nodeContains(bindBlock.Nodes[i], u) {
+				return true
+			}
+		}
+	}
+
+	// Which blocks consult? (Uses inside funclits/defers were already
+	// filtered out by the caller's fallback.)
+	consults := map[*cfg.Block]bool{}
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			for _, u := range uses {
+				if nodeContains(n, u) {
+					consults[blk] = true
+				}
+			}
+		}
+	}
+
+	res := dataflow.Solve(g, dataflow.SetLattice{Intersect: true}, dataflow.Backward, dataflow.Set{},
+		func(blk *cfg.Block, in dataflow.Set) dataflow.Set {
+			if blk.PanicExit || consults[blk] {
+				in["consulted"] = true
+			}
+			return in
+		})
+	exitState, ok := res.In[bindBlock]
+	if !ok {
+		return true // block cannot reach the exit (e.g. infinite loop)
+	}
+	return exitState["consulted"]
+}
+
+// consultingUses returns every use of obj inside fi's body that consults
+// the future's completion state (or escapes it).
+func consultingUses(pass *analysis.Pass, fi *funcInfo, obj *types.Var, consumes map[*types.Func]map[int]bool) []*ast.Ident {
+	var uses []*ast.Ident
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != obj {
+			return true
+		}
+		if consultingUse(pass, fi, id, consumes) {
+			uses = append(uses, id)
+		}
+		return true
+	})
+	return uses
 }
 
 // consultsObject reports whether any use of obj inside fi's body consults

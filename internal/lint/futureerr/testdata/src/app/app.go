@@ -67,9 +67,11 @@ func localWrap(r *upcxx.Rank, buf []float64) {
 	localSwallow(d)
 }
 
-// Cross-package wrappers, judged by imported consumption facts.
+// Cross-package wrappers, judged by imported consumption facts. The
+// early return on Forward's error is a path that never consults a — the
+// CFG-based all-paths check sees through the final wrap.Check(a).
 func crosspkg(r *upcxx.Rank, buf []float64) error {
-	a := r.Rget(buf)
+	a := r.Rget(buf) // want "not consulted on every path"
 	b := r.Rget(buf) // want "bound to b"
 	wrap.Swallow(b)
 	c := r.Rget(buf)
@@ -77,4 +79,61 @@ func crosspkg(r *upcxx.Rank, buf []float64) error {
 		return err
 	}
 	return wrap.Check(a)
+}
+
+// All-paths coverage: consulted on one arm only is a dropped error on
+// the other arm.
+func partial(r *upcxx.Rank, buf []float64, c bool) {
+	f := r.Rget(buf) // want "not consulted on every path"
+	if c {
+		_ = f.Err()
+	}
+}
+
+// Consulted on every arm: clean.
+func allArms(r *upcxx.Rank, buf []float64, c bool) error {
+	f := r.Rget(buf)
+	if c {
+		return f.Err()
+	}
+	return f.Err()
+}
+
+// Panic paths are excused: the error is not "dropped" by crashing.
+func panicPath(r *upcxx.Rank, buf []float64, c bool) error {
+	f := r.Rget(buf)
+	if c {
+		panic("unreachable")
+	}
+	return f.Err()
+}
+
+// A per-iteration future consulted before the back edge is clean.
+func loopConsult(r *upcxx.Rank, bufs [][]float64) error {
+	for _, buf := range bufs {
+		f := r.Rget(buf)
+		if err := f.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// A consult that only happens inside the loop does not cover the
+// zero-iteration path.
+func loopSkip(r *upcxx.Rank, buf []float64, n int) {
+	f := r.Rget(buf) // want "not consulted on every path"
+	for i := 0; i < n; i++ {
+		_ = f.Err()
+	}
+}
+
+// Uses inside deferred calls fall back to the any-use rule: the defer
+// runs on every return, the graph just cannot order it.
+func deferredConsult(r *upcxx.Rank, buf []float64, c bool) {
+	f := r.Rget(buf)
+	defer func() { _ = f.Err() }()
+	if c {
+		return
+	}
 }

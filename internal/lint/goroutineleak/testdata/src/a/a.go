@@ -1,0 +1,181 @@
+// Package a exercises goroutineleak: bare sends/receives in launched
+// goroutines checked against all-paths consumers in the enclosing body.
+package a
+
+import "context"
+
+func compute() int { return 1 }
+func use(int)      {}
+func drain(ch chan int) {
+	go func() { <-ch }()
+}
+
+// classicLeak is the PR-5 AllReduce staging shape: the ctx.Done arm
+// abandons the sender forever.
+func classicLeak(ctx context.Context) int {
+	res := make(chan int)
+	go func() { res <- compute() }() // want "goroutine sends on res"
+	select {
+	case r := <-res:
+		return r
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// buffered is the canonical fix: the send completes even when the
+// receiver gave up.
+func buffered(ctx context.Context) int {
+	res := make(chan int, 1)
+	go func() { res <- compute() }()
+	select {
+	case r := <-res:
+		return r
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// explicitZero spells the unbuffered capacity out; still a leak.
+func explicitZero(ctx context.Context) int {
+	res := make(chan int, 0)
+	go func() { res <- compute() }() // want "goroutine sends on res"
+	select {
+	case r := <-res:
+		return r
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// unconditional receives on the only path: clean.
+func unconditional() int {
+	res := make(chan int)
+	go func() { res <- compute() }()
+	return <-res
+}
+
+// conditional consumes on one arm of an if only.
+func conditional(cond bool) {
+	res := make(chan int)
+	go func() { res <- compute() }() // want "goroutine sends on res"
+	if cond {
+		use(<-res)
+	}
+}
+
+// selectEscape: the goroutine itself can bail via ctx.Done, so the
+// abandoning receiver is fine.
+func selectEscape(ctx context.Context) int {
+	res := make(chan int)
+	go func() {
+		select {
+		case res <- compute():
+		case <-ctx.Done():
+		}
+	}()
+	select {
+	case r := <-res:
+		return r
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// escapes hands the channel to another function: someone else may drain.
+func escapes(cond bool) {
+	res := make(chan int)
+	go func() { res <- compute() }()
+	drain(res)
+}
+
+// aliased copies the channel reference: the alias may be drained.
+func aliased(cond bool) {
+	res := make(chan int)
+	ch2 := res
+	go func() { res <- compute() }()
+	if cond {
+		use(<-ch2)
+	}
+}
+
+// recvLeak launches a receiving goroutine but closes on one path only.
+func recvLeak(cond bool) {
+	done := make(chan int)
+	go func() { use(<-done) }() // want "goroutine receives from done"
+	if cond {
+		close(done)
+	}
+}
+
+// recvClosed closes on every path: clean.
+func recvClosed(cond bool) {
+	done := make(chan int)
+	go func() { use(<-done) }()
+	if cond {
+		close(done)
+		return
+	}
+	close(done)
+}
+
+// panicPath: the non-consuming path unwinds the process; excused.
+func panicPath(cond bool) {
+	res := make(chan int)
+	go func() { res <- compute() }()
+	if cond {
+		panic("boom")
+	}
+	use(<-res)
+}
+
+// deferredDrain touches the channel from another function literal: the
+// all-paths check on the enclosing body cannot see the deferred
+// consumer, so the launch is conservatively accepted.
+func deferredDrain(ctx context.Context) int {
+	res := make(chan int)
+	go func() { res <- compute() }()
+	defer func() {
+		select {
+		case <-res:
+		default:
+		}
+	}()
+	select {
+	case r := <-res:
+		return r
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// rangeDrain consumes via range-over-channel: the header receive counts.
+func rangeDrain() {
+	res := make(chan int)
+	go func() { res <- compute() }()
+	for v := range res {
+		use(v)
+	}
+}
+
+// loopConsume receives before the back edge on every iteration and falls
+// through to a final receive; all paths consume.
+func loopConsume(n int) {
+	res := make(chan int)
+	go func() { res <- compute() }()
+	for i := 0; i < n; i++ {
+		use(<-res)
+		return
+	}
+	use(<-res)
+}
+
+// zeroIter consumes only inside a loop that may run zero times.
+func zeroIter(n int) {
+	res := make(chan int)
+	go func() { res <- compute() }() // want "goroutine sends on res"
+	for i := 0; i < n; i++ {
+		use(<-res)
+		return
+	}
+}

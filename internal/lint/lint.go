@@ -22,8 +22,11 @@ import (
 
 	"sympack/internal/lint/analysis"
 	"sympack/internal/lint/atomicconsistency"
+	"sympack/internal/lint/ctxflow"
 	"sympack/internal/lint/futureerr"
+	"sympack/internal/lint/goroutineleak"
 	"sympack/internal/lint/load"
+	"sympack/internal/lint/lockorder"
 	"sympack/internal/lint/mapiterdeterminism"
 	"sympack/internal/lint/mutexguard"
 	"sympack/internal/lint/unusedignore"
@@ -34,7 +37,10 @@ import (
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		atomicconsistency.Analyzer,
+		ctxflow.Analyzer,
 		futureerr.Analyzer,
+		goroutineleak.Analyzer,
+		lockorder.Analyzer,
 		mapiterdeterminism.Analyzer,
 		mutexguard.Analyzer,
 		unusedignore.Analyzer,

@@ -1,0 +1,19 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"sympack/internal/lint/analysistest"
+	"sympack/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "a")
+}
+
+// TestCrossPackage pins the fact flow: the acquisition of lockdep's
+// cache mutex inside Fill must be visible at lockuse's call site, where
+// it closes the cycle with the directly-witnessed reverse edge.
+func TestCrossPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "lockdep", "lockuse")
+}

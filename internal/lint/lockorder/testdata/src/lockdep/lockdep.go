@@ -1,0 +1,15 @@
+// Package lockdep is the dependency half of the cross-package lockorder
+// test: Fill's acquisition is exported as an object fact, and the
+// package's (empty-cycle) edge graph as a package fact.
+package lockdep
+
+import "sync"
+
+type Cache struct{ Mu sync.Mutex }
+
+// Fill acquires the cache lock; importers learn that through the
+// acquires fact.
+func (c *Cache) Fill() {
+	c.Mu.Lock()
+	c.Mu.Unlock()
+}

@@ -1,0 +1,25 @@
+// Package lockuse closes a lock cycle across a package boundary: the
+// Server→Cache edge is only visible through lockdep's exported
+// acquisition fact on Fill, and the reverse edge is witnessed directly.
+package lockuse
+
+import (
+	"sync"
+
+	"lockdep"
+)
+
+type Server struct{ mu sync.Mutex }
+
+func refresh(s *Server, c *lockdep.Cache) {
+	s.mu.Lock()
+	c.Fill() // want "lock order cycle"
+	s.mu.Unlock()
+}
+
+func evict(s *Server, c *lockdep.Cache) {
+	c.Mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	c.Mu.Unlock()
+}

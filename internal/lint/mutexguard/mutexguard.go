@@ -1,7 +1,7 @@
 // Package mutexguard enforces `// guarded by <recv>.<mu>` field
-// annotations with a lightweight lockset walk. The engine's scheduler
-// state (dependency counters, ready queue, retry bookkeeping) is a
-// classic fan-out hazard: it is mutated from worker goroutines, the
+// annotations with a flow-sensitive lockset analysis. The engine's
+// scheduler state (dependency counters, ready queue, retry bookkeeping)
+// is a classic fan-out hazard: it is mutated from worker goroutines, the
 // progress goroutine, and remote-signal callbacks, and the paper's
 // bit-identical-factors claim (§3.2) only holds if every such mutation
 // happens under the engine mutex. PR 2 established the discipline in
@@ -13,11 +13,16 @@
 //
 // declares that every access to the field must happen while the same
 // instance's named mutex (here: the struct's own `mu` field) is held.
-// The walk is syntactic and source-ordered, not a heap analysis — it
-// tracks, per function body, the set of (base variable, mutex field)
-// pairs locked via base.mu.Lock()/RLock() and not yet released, and
-// reports any guarded-field access through a base variable whose pair is
-// absent. Three escape valves keep it false-positive-poor:
+// The analysis runs a forward must-dataflow over the function's control-
+// flow graph (internal/lint/cfg + internal/lint/dataflow): the state is
+// the set of (base variable, mutex field) pairs provably held, the
+// transfer function applies base.mu.Lock()/Unlock() calls, and the join
+// at merge points is set intersection — a lock is held after a merge only
+// if it is held on *every* incoming path. That fixes both documented
+// unsoundness classes of the v2 source-order walk: an unlock on one arm
+// of a branch no longer leaves the fallthrough path marked held (false
+// negative), and a lock acquired on all arms is now known held after the
+// join (false positive). Three escape valves keep it false-positive-poor:
 //
 //   - A function documented "callers hold <name>.<mu>" (doc comment or a
 //     comment before the first statement) starts with that pair seeded,
@@ -29,12 +34,11 @@
 //     the remainder of the body, which is exactly the deferred-unlock
 //     idiom's semantics.
 //
-// Function literals are walked with an empty lockset (a closure may run
-// long after the enclosing critical section ends — precisely the worker
-// goroutine bug this exists to catch), except a deferred literal, which
-// runs at return and inherits the current set. Branch bodies get a copy
-// of the lockset, so the common `mu.Lock(); if bad { mu.Unlock(); return }`
-// early-exit shape does not poison the fallthrough path.
+// Function literals are analyzed as their own graphs with an empty entry
+// lockset (a closure may run long after the enclosing critical section
+// ends — precisely the worker goroutine bug this exists to catch), except
+// a deferred literal, which runs at return and inherits the lockset at
+// the defer point.
 //
 // An annotation naming a mutex field the struct does not have is itself
 // reported: a typo'd guard is a guard that never fires.
@@ -47,6 +51,8 @@ import (
 	"regexp"
 
 	"sympack/internal/lint/analysis"
+	"sympack/internal/lint/cfg"
+	"sympack/internal/lint/dataflow"
 )
 
 // Name is the analyzer's registry name.
@@ -55,8 +61,9 @@ const Name = "mutexguard"
 var Analyzer = &analysis.Analyzer{
 	Name: Name,
 	Doc: "checks that fields annotated `guarded by <recv>.<mu>` are only " +
-		"accessed while the instance's mutex is provably held (lockset walk " +
-		"with callers-hold seeding and fresh-object exemption)",
+		"accessed while the instance's mutex is provably held (CFG-based " +
+		"lockset must-analysis with callers-hold seeding and fresh-object " +
+		"exemption)",
 	Run: run,
 }
 
@@ -83,6 +90,34 @@ func (ls lockset) clone() lockset {
 	return out
 }
 
+// lockLattice is the must-analysis lattice over locksets: the join at a
+// control-flow merge keeps only locks held on every incoming path.
+type lockLattice struct{}
+
+func (lockLattice) Join(a, b lockset) lockset {
+	out := lockset{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (lockLattice) Equal(a, b lockset) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (lockLattice) Clone(a lockset) lockset { return a.clone() }
+
 func run(pass *analysis.Pass) (interface{}, error) {
 	w := &walker{
 		pass:   pass,
@@ -100,8 +135,8 @@ func run(pass *analysis.Pass) (interface{}, error) {
 				continue
 			}
 			w.fresh = map[types.Object]bool{}
-			ls := w.seed(fd, f)
-			w.stmts(fd.Body.List, ls)
+			w.collectFresh(fd.Body)
+			w.analyzeBody(fd.Body, w.seed(fd, f))
 		}
 	}
 	return nil, nil
@@ -203,157 +238,153 @@ func (w *walker) seed(fd *ast.FuncDecl, file *ast.File) lockset {
 	return ls
 }
 
-// stmts walks a statement list, mutating ls in source order.
-func (w *walker) stmts(list []ast.Stmt, ls lockset) {
-	for _, s := range list {
-		w.stmt(s, ls)
+// collectFresh records variables bound to fresh composite literals
+// anywhere in the body: until published they are unshared and their
+// guarded fields are free.
+func (w *walker) collectFresh(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		s, ok := n.(*ast.AssignStmt)
+		if !ok || s.Tok != token.DEFINE {
+			return true
+		}
+		for i, lhs := range s.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(s.Rhs) {
+				continue
+			}
+			rhs := ast.Unparen(s.Rhs[i])
+			if ue, ok := rhs.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+				rhs = ast.Unparen(ue.X)
+			}
+			if _, ok := rhs.(*ast.CompositeLit); !ok {
+				continue
+			}
+			if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
+				w.fresh[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+// analyzeBody runs the two-pass CFG analysis over one function or
+// function-literal body: first solve the lockset fixpoint (transfer
+// applies lock operations only — no reporting, since the solver may visit
+// a block several times), then replay each reachable block once from its
+// solved entry state, checking guarded accesses and descending into
+// nested function literals with the lockset their execution context
+// implies.
+func (w *walker) analyzeBody(body *ast.BlockStmt, seed lockset) {
+	g := cfg.New(body)
+	res := dataflow.Solve(g, lockLattice{}, dataflow.Forward, seed,
+		func(b *cfg.Block, in lockset) lockset {
+			for _, n := range b.Nodes {
+				w.applyNode(n, in)
+			}
+			return in
+		})
+	for _, b := range g.Reachable() {
+		in, ok := res.In[b]
+		if !ok {
+			continue
+		}
+		ls := in.clone()
+		for _, n := range b.Nodes {
+			w.checkNode(n, ls)
+			w.applyNode(n, ls)
+		}
 	}
 }
 
-func (w *walker) stmt(s ast.Stmt, ls lockset) {
-	switch s := s.(type) {
+// applyNode mutates ls with the lock operations a node performs. Only
+// direct base.mu.Lock/Unlock statement calls count; a deferred Unlock
+// releases at return, so it keeps the lock held for the rest of the body.
+func (w *walker) applyNode(n ast.Node, ls lockset) {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if k, locks, ok := w.lockOp(call); ok {
+		if locks {
+			ls[k] = true
+		} else {
+			delete(ls, k)
+		}
+	}
+}
+
+// checkNode checks every guarded-field access inside n against ls and
+// analyzes nested function literals: a go'd or plainly-called literal
+// starts empty (concurrency boundary), a deferred literal inherits the
+// lockset at the defer point (it runs at return, cleaning up the critical
+// section that is still open there).
+func (w *walker) checkNode(n ast.Node, ls lockset) {
+	switch s := n.(type) {
 	case *ast.ExprStmt:
 		if call, ok := s.X.(*ast.CallExpr); ok {
-			if k, locks, ok := w.lockOp(call); ok {
-				if locks {
-					ls[k] = true
-				} else {
-					delete(ls, k)
-				}
-				return
+			if _, _, ok := w.lockOp(call); ok {
+				return // the lock operation itself is not a guarded access
 			}
-		}
-		w.expr(s.X, ls)
-	case *ast.AssignStmt:
-		for _, r := range s.Rhs {
-			w.expr(r, ls)
-		}
-		for _, l := range s.Lhs {
-			w.expr(l, ls)
-		}
-		if s.Tok == token.DEFINE {
-			w.markFresh(s)
-		}
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, v := range vs.Values {
-						w.expr(v, ls)
-					}
-				}
-			}
-		}
-	case *ast.IfStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, ls)
-		}
-		w.expr(s.Cond, ls)
-		w.stmts(s.Body.List, ls.clone())
-		if s.Else != nil {
-			w.stmt(s.Else, ls.clone())
-		}
-	case *ast.BlockStmt:
-		w.stmts(s.List, ls)
-	case *ast.ForStmt:
-		inner := ls.clone()
-		if s.Init != nil {
-			w.stmt(s.Init, inner)
-		}
-		if s.Cond != nil {
-			w.expr(s.Cond, inner)
-		}
-		w.stmts(s.Body.List, inner)
-		if s.Post != nil {
-			w.stmt(s.Post, inner)
-		}
-	case *ast.RangeStmt:
-		w.expr(s.X, ls)
-		w.stmts(s.Body.List, ls.clone())
-	case *ast.SwitchStmt:
-		inner := ls.clone()
-		if s.Init != nil {
-			w.stmt(s.Init, inner)
-		}
-		if s.Tag != nil {
-			w.expr(s.Tag, inner)
-		}
-		for _, c := range s.Body.List {
-			cc := c.(*ast.CaseClause)
-			for _, e := range cc.List {
-				w.expr(e, inner)
-			}
-			w.stmts(cc.Body, inner.clone())
-		}
-	case *ast.TypeSwitchStmt:
-		inner := ls.clone()
-		if s.Init != nil {
-			w.stmt(s.Init, inner)
-		}
-		w.stmt(s.Assign, inner)
-		for _, c := range s.Body.List {
-			cc := c.(*ast.CaseClause)
-			w.stmts(cc.Body, inner.clone())
-		}
-	case *ast.SelectStmt:
-		for _, c := range s.Body.List {
-			cc := c.(*ast.CommClause)
-			inner := ls.clone()
-			if cc.Comm != nil {
-				w.stmt(cc.Comm, inner)
-			}
-			w.stmts(cc.Body, inner)
-		}
-	case *ast.ReturnStmt:
-		for _, r := range s.Results {
-			w.expr(r, ls)
-		}
-	case *ast.DeferStmt:
-		// defer x.mu.Unlock() releases at return; the lock stays held
-		// for the remainder of the body.
-		if _, locks, ok := w.lockOp(s.Call); ok && !locks {
-			return
-		}
-		for _, a := range s.Call.Args {
-			w.expr(a, ls)
-		}
-		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
-			// Runs at return, when the current critical section (if
-			// still open) is typically the one it cleans up.
-			w.stmts(fl.Body.List, ls.clone())
-		} else {
-			w.expr(s.Call.Fun, ls)
 		}
 	case *ast.GoStmt:
 		for _, a := range s.Call.Args {
-			w.expr(a, ls)
+			w.checkExpr(a, ls)
 		}
 		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
-			w.stmts(fl.Body.List, lockset{})
+			w.analyzeBody(fl.Body, lockset{})
 		} else {
-			w.expr(s.Call.Fun, ls)
+			w.checkExpr(s.Call.Fun, ls)
 		}
-	case *ast.SendStmt:
-		w.expr(s.Chan, ls)
-		w.expr(s.Value, ls)
-	case *ast.IncDecStmt:
-		w.expr(s.X, ls)
-	case *ast.LabeledStmt:
-		w.stmt(s.Stmt, ls)
+		return
+	case *ast.DeferStmt:
+		if _, locks, ok := w.lockOp(s.Call); ok && !locks {
+			return // defer x.mu.Unlock(): no access, no release
+		}
+		for _, a := range s.Call.Args {
+			w.checkExpr(a, ls)
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.analyzeBody(fl.Body, ls.clone())
+		} else {
+			w.checkExpr(s.Call.Fun, ls)
+		}
+		return
+	case *ast.RangeStmt:
+		// The range header node contains the whole loop; the body's
+		// statements live in their own blocks — check only the
+		// per-iteration assignment here.
+		w.checkExpr(s.Key, ls)
+		w.checkExpr(s.Value, ls)
+		return
 	}
+	if e, ok := n.(ast.Expr); ok {
+		w.checkExpr(e, ls)
+		return
+	}
+	// Statements: check their non-funclit expressions without descending
+	// into nested statements (those are separate CFG nodes already —
+	// except for statements the builder keeps whole, which Inspect below
+	// covers since their sub-statements were not split out).
+	w.checkExpr(n, ls)
 }
 
-// expr checks every guarded-field access inside e against ls. Function
-// literals are concurrency boundaries: their bodies start with nothing
-// held.
-func (w *walker) expr(e ast.Expr, ls lockset) {
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch n := n.(type) {
+// checkExpr checks guarded accesses under n, treating nested function
+// literals as concurrency boundaries (fresh empty lockset).
+func (w *walker) checkExpr(n ast.Node, ls lockset) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(nn ast.Node) bool {
+		switch nn := nn.(type) {
 		case *ast.FuncLit:
-			w.stmts(n.Body.List, lockset{})
+			w.analyzeBody(nn.Body, lockset{})
 			return false
 		case *ast.SelectorExpr:
-			w.checkAccess(n, ls)
+			w.checkAccess(nn, ls)
 		}
 		return true
 	})
@@ -407,7 +438,7 @@ func (w *walker) lockOp(call *ast.CallExpr) (lockKey, bool, bool) {
 		return lockKey{}, false, false
 	}
 	obj := w.pass.TypesInfo.Uses[base]
-	if obj == nil || !isSyncLock(w.pass.TypesInfo.Types[inner.X], w.pass, inner) {
+	if obj == nil || !isSyncLock(w.pass, inner) {
 		return lockKey{}, false, false
 	}
 	return lockKey{obj, inner.Sel.Name}, locks, true
@@ -415,7 +446,7 @@ func (w *walker) lockOp(call *ast.CallExpr) (lockKey, bool, bool) {
 
 // isSyncLock reports whether the selected mutex field has a sync lock
 // type, so an unrelated Lock() method cannot alias into the lockset.
-func isSyncLock(_ types.TypeAndValue, pass *analysis.Pass, inner *ast.SelectorExpr) bool {
+func isSyncLock(pass *analysis.Pass, inner *ast.SelectorExpr) bool {
 	v, ok := pass.TypesInfo.Uses[inner.Sel].(*types.Var)
 	if !ok {
 		return false
@@ -427,25 +458,4 @@ func isSyncLock(_ types.TypeAndValue, pass *analysis.Pass, inner *ast.SelectorEx
 	obj := named.Obj()
 	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
 		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
-}
-
-// markFresh records variables bound to fresh composite literals: until
-// published they are unshared and their guarded fields are free.
-func (w *walker) markFresh(s *ast.AssignStmt) {
-	for i, lhs := range s.Lhs {
-		id, ok := lhs.(*ast.Ident)
-		if !ok || i >= len(s.Rhs) {
-			continue
-		}
-		rhs := ast.Unparen(s.Rhs[i])
-		if ue, ok := rhs.(*ast.UnaryExpr); ok && ue.Op == token.AND {
-			rhs = ast.Unparen(ue.X)
-		}
-		if _, ok := rhs.(*ast.CompositeLit); !ok {
-			continue
-		}
-		if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
-			w.fresh[obj] = true
-		}
-	}
 }

@@ -77,6 +77,66 @@ func (e *eng) wrongLock(other *eng) {
 	other.mu.Unlock()
 }
 
+// Merge soundness: an unlock on one branch arm means the lock is NOT
+// provably held after the join — the v2 source-order walk missed this.
+func (e *eng) unlockOneArm(c bool) {
+	e.mu.Lock()
+	if c {
+		e.mu.Unlock()
+	}
+	e.n++ // want "guarded by e.mu"
+	if !c {
+		e.mu.Unlock()
+	}
+}
+
+// Merge soundness, the other direction: locked on every arm IS held
+// after the join — the v2 walk reported this as a false positive.
+func (e *eng) lockBothArms(c bool) {
+	if c {
+		e.mu.Lock()
+	} else {
+		e.mu.Lock()
+	}
+	e.n++
+	e.mu.Unlock()
+}
+
+// A loop that releases inside its body must not leak "held" to the
+// statement after the back-edge join.
+func (e *eng) loopRelease(xs []int) {
+	for range xs {
+		e.mu.Lock()
+		e.queue = append(e.queue, 1)
+		e.mu.Unlock()
+	}
+	e.n++ // want "guarded by e.mu"
+}
+
+// An early-exit arm that returns does not poison the fallthrough path:
+// the join only merges paths that actually reach it.
+func (e *eng) earlyReturnKeepsHeld() {
+	e.mu.Lock()
+	if len(e.queue) == 0 {
+		e.mu.Unlock()
+		return
+	}
+	e.n++
+	e.mu.Unlock()
+}
+
+// Unlock inside a switch case drops the lock at the merge.
+func (e *eng) switchRelease(k int) {
+	e.mu.Lock()
+	switch k {
+	case 0:
+		e.mu.Unlock()
+	default:
+		e.queue = nil
+	}
+	e.n++ // want "guarded by e.mu"
+}
+
 type rw struct {
 	mu   sync.RWMutex
 	view []int // guarded by r.mu

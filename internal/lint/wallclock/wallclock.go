@@ -52,6 +52,11 @@ var deterministicPackages = map[string]bool{
 	// deterministic performance model; the report timestamp is its only
 	// legitimate wall-clock read and routes through machine.WallNow.
 	"sympack/cmd/benchfig": true,
+	// The lint suite lints itself: graph construction and fixpoint
+	// solving are pure functions of the AST and must never consult the
+	// host clock (a time-bounded solver would make diagnostics flap).
+	"sympack/internal/lint/cfg":      true,
+	"sympack/internal/lint/dataflow": true,
 }
 
 // bannedTime are the time functions that read or wait on the host clock.
