@@ -34,9 +34,14 @@ func baselineKey(relFile, analyzer, message string) string {
 }
 
 // relFile renders a diagnostic's file path relative to the module root,
-// slash-separated, so baselines are portable across checkouts.
+// slash-separated, so baselines and -json reports are portable across
+// checkouts. With no known root (vet units outside any module) the path
+// is only slash-normalized.
 func relFile(modRoot string, fset *token.FileSet, d analysis.Diagnostic) string {
 	name := fset.Position(d.Pos).Filename
+	if modRoot == "" {
+		return filepath.ToSlash(name)
+	}
 	if rel, err := filepath.Rel(modRoot, name); err == nil && !strings.HasPrefix(rel, "..") {
 		return filepath.ToSlash(rel)
 	}

@@ -103,7 +103,9 @@ func usage() {
 }
 
 // jsonDiagnostic is the -json wire format: one object per line, stable
-// field set, so CI can archive and diff lint reports mechanically.
+// field set, so CI can archive and diff lint reports mechanically. File
+// is module-root-relative and slash-separated (the same normalization as
+// baselines), so reports diff cleanly across checkouts and platforms.
 type jsonDiagnostic struct {
 	File       string `json:"file"`
 	Line       int    `json:"line"`
@@ -113,10 +115,10 @@ type jsonDiagnostic struct {
 	Note       bool   `json:"note,omitempty"`
 }
 
-func printJSON(w io.Writer, fset *token.FileSet, d analysis.Diagnostic) {
+func printJSON(w io.Writer, modRoot string, fset *token.FileSet, d analysis.Diagnostic) {
 	pos := fset.Position(d.Pos)
 	out, _ := json.Marshal(jsonDiagnostic{
-		File:       pos.Filename,
+		File:       relFile(modRoot, fset, d),
 		Line:       pos.Line,
 		Analyzer:   d.Analyzer,
 		Message:    d.Message,
@@ -198,7 +200,7 @@ func runStandalone(patterns []string, opts options) int {
 		}
 		switch {
 		case opts.jsonOut:
-			printJSON(os.Stdout, fset, d)
+			printJSON(os.Stdout, modRoot, fset, d)
 		case d.Note:
 			pos := fset.Position(d.Pos)
 			fmt.Printf("%s: note: [%s] %s\n", relTo(wd, pos), d.Analyzer, d.Message)

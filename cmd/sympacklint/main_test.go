@@ -75,7 +75,9 @@ func capture(t *testing.T, f func() int) (string, int) {
 
 // TestJSONGolden pins the -json wire schema (one object per line: file,
 // line, analyzer, message, suppressed, plus note only when set) against a
-// committed golden file, so downstream tooling can depend on it.
+// committed golden file, so downstream tooling can depend on it. Paths
+// are module-root-relative, so the golden needs no normalization — and
+// the rooted temp module proves no absolute path leaks into the report.
 func TestJSONGolden(t *testing.T) {
 	root := scratchModule(t)
 	t.Chdir(root)
@@ -83,9 +85,10 @@ func TestJSONGolden(t *testing.T) {
 	if rc != 2 {
 		t.Fatalf("exit code = %d, want 2 (unsuppressed findings present)", rc)
 	}
-
-	// Golden comparison with the temp root normalized out.
-	normalized := strings.ReplaceAll(out, root, "MOD")
+	if strings.Contains(out, root) {
+		t.Errorf("-json output embeds the absolute module root %q:\n%s", root, out)
+	}
+	normalized := out
 	golden := filepath.Join(testdataDir(t), "json.golden")
 	if *update {
 		if err := os.WriteFile(golden, []byte(normalized), 0o666); err != nil {
@@ -118,6 +121,28 @@ func TestJSONGolden(t *testing.T) {
 			default:
 				t.Errorf("line %q has undocumented key %q", line, k)
 			}
+		}
+	}
+}
+
+// TestJSONPathsRepoRelative runs -json from a subdirectory of a rooted
+// temp module: file paths must stay module-root-relative and
+// slash-separated (not cwd-relative, not absolute), the portability
+// contract baselines and archived CI reports rely on.
+func TestJSONPathsRepoRelative(t *testing.T) {
+	root := scratchModule(t)
+	t.Chdir(filepath.Join(root, "internal", "core"))
+	out, rc := capture(t, func() int { return run([]string{"-json", "./..."}) })
+	if rc != 2 {
+		t.Fatalf("exit code = %d, want 2; out=%s", rc, out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var jd jsonDiagnostic
+		if err := json.Unmarshal([]byte(line), &jd); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if jd.File != "internal/core/bad.go" {
+			t.Errorf("file = %q, want module-root-relative slash path %q", jd.File, "internal/core/bad.go")
 		}
 	}
 }

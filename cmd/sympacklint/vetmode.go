@@ -173,11 +173,18 @@ func runVet(cfgFile string, jsonOut bool) int {
 	if factOnly {
 		return 0 // dependency unit: facts are the product, findings are not
 	}
+	// Vet units render -json paths module-root-relative too, found from
+	// the unit's own directory (best effort: absolute-but-slashed paths
+	// outside any module).
+	modRoot := ""
+	if mr, err := findModuleRoot(cfg.Dir); err == nil {
+		modRoot = mr
+	}
 	findings := 0
 	for _, d := range diags {
 		switch {
 		case jsonOut:
-			printJSON(os.Stdout, fset, d)
+			printJSON(os.Stdout, modRoot, fset, d)
 		case d.Note:
 			fmt.Fprintf(os.Stderr, "%s: note: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
 		case !d.Suppressed:

@@ -736,6 +736,7 @@ func (e *engine) decBlockN(bid, n int32) {
 	}
 }
 
+// decBlock retires one dependency of a block; callers hold e.mu.
 func (e *engine) decBlock(bid int32) { e.decBlockN(bid, 1) }
 
 func (e *engine) gpuEnabled() bool { return e.r.Device() != nil && !e.demoted.Load() }

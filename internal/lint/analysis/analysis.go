@@ -65,6 +65,22 @@ type Pass struct {
 	ImportObjectFact  func(obj types.Object, fact Fact) bool
 	ExportPackageFact func(fact Fact)
 	ImportPackageFact func(pkg *types.Package, fact Fact) bool
+
+	// MarkIgnoreUsed, installed by the runner, records that an
+	// //lint:ignore directive covering pos was consumed by the analyzer
+	// mid-analysis — e.g. a taint engine killing a flow at the directive's
+	// line — rather than by suppressing a reported diagnostic. The audit
+	// counts such directives as live, so unusedignore does not flag an
+	// escape hatch whose entire effect was to stop a finding from ever
+	// being produced. Nil when the runner does not audit suppressions.
+	MarkIgnoreUsed func(pos token.Pos, analyzer string)
+}
+
+// ConsumeIgnore is the nil-safe form of MarkIgnoreUsed.
+func (p *Pass) ConsumeIgnore(pos token.Pos, analyzer string) {
+	if p.MarkIgnoreUsed != nil {
+		p.MarkIgnoreUsed(pos, analyzer)
+	}
 }
 
 // Reportf reports a formatted diagnostic at pos.

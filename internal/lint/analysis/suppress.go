@@ -82,6 +82,47 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) (byFile map[string][
 	return byFile, malformed
 }
 
+// A ConsumedIgnore records an //lint:ignore directive consumed by an
+// analyzer mid-analysis (through Pass.MarkIgnoreUsed) rather than by
+// suppressing a reported diagnostic: pos is the position of the code the
+// directive acted on, analyzer the check that honored it. Audit treats a
+// matching directive as used.
+type ConsumedIgnore struct {
+	Pos      token.Pos
+	Analyzer string
+}
+
+// An IgnoreIndex answers, for analyzers that honor suppressions inside
+// their own propagation (taint kills) instead of at report time, whether
+// an //lint:ignore directive for a given analyzer covers a position. The
+// coverage rule is identical to diagnostic suppression: the directive's
+// own line or the line immediately below it. Analyzers that kill work
+// through a covering directive must also call Pass.MarkIgnoreUsed (or
+// ConsumeIgnore) so the audit sees the directive as live.
+type IgnoreIndex struct {
+	fset   *token.FileSet
+	byFile map[string][]*ignoreDirective
+}
+
+// NewIgnoreIndex scans the files' comments once and builds the index.
+// Malformed directives are dropped here; the audit reports them.
+func NewIgnoreIndex(fset *token.FileSet, files []*ast.File) *IgnoreIndex {
+	byFile, _ := collectIgnores(fset, files)
+	return &IgnoreIndex{fset: fset, byFile: byFile}
+}
+
+// Covers reports whether an //lint:ignore directive naming analyzer (or
+// the wildcard) covers pos.
+func (ix *IgnoreIndex) Covers(pos token.Pos, analyzer string) bool {
+	p := ix.fset.Position(pos)
+	for _, dir := range ix.byFile[p.Filename] {
+		if dir.matches(analyzer, p.Line) {
+			return true
+		}
+	}
+	return false
+}
+
 func (d *ignoreDirective) matches(analyzer string, line int) bool {
 	if line != d.line && line != d.line+1 {
 		return false
@@ -103,9 +144,20 @@ func (d *ignoreDirective) matches(analyzer string, line int) bool {
 // it is the wildcard), since a directive for an analyzer outside the run
 // may be doing its job invisibly. An unjudgeable directive yields an
 // informational note ("audit skipped: ...") rather than nothing, so
-// sharded runs cannot silently drop the audit.
-func Audit(fset *token.FileSet, files []*ast.File, diags []Diagnostic, ran []string, auditUnused bool) []Diagnostic {
+// sharded runs cannot silently drop the audit. consumed lists directives
+// analyzers honored mid-analysis (Pass.MarkIgnoreUsed) — a taint kill
+// produces no diagnostic to suppress, yet its directive is live, not
+// stale.
+func Audit(fset *token.FileSet, files []*ast.File, diags []Diagnostic, ran []string, auditUnused bool, consumed []ConsumedIgnore) []Diagnostic {
 	ignores, malformed := collectIgnores(fset, files)
+	for _, c := range consumed {
+		pos := fset.Position(c.Pos)
+		for _, dir := range ignores[pos.Filename] {
+			if dir.matches(c.Analyzer, pos.Line) {
+				dir.used = true
+			}
+		}
+	}
 	out := make([]Diagnostic, 0, len(diags)+len(malformed))
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
@@ -166,7 +218,7 @@ func Audit(fset *token.FileSet, files []*ast.File, diags []Diagnostic, ran []str
 // findings.
 func ApplySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
 	var kept []Diagnostic
-	for _, d := range Audit(fset, files, diags, nil, false) {
+	for _, d := range Audit(fset, files, diags, nil, false, nil) {
 		if !d.Suppressed {
 			kept = append(kept, d)
 		}

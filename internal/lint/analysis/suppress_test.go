@@ -138,7 +138,7 @@ func TestAuditUnusedDirectives(t *testing.T) {
 	// silence, and never as a gating unusedignore finding.
 	got := Audit(fset, []*ast.File{f}, []Diagnostic{
 		{Pos: file.LineStart(5), Message: "finding", Analyzer: "check1"},
-	}, []string{"check1"}, true)
+	}, []string{"check1"}, true, nil)
 	var unused, notes []Diagnostic
 	for _, d := range got {
 		if d.Analyzer != "unusedignore" {
@@ -169,7 +169,7 @@ func TestAuditUnusedDirectives(t *testing.T) {
 	// and unused.
 	got = Audit(fset, []*ast.File{f}, []Diagnostic{
 		{Pos: file.LineStart(5), Message: "finding", Analyzer: "check1"},
-	}, []string{"check1", "check2"}, true)
+	}, []string{"check1", "check2"}, true, nil)
 	unused = nil
 	for _, d := range got {
 		if d.Analyzer == "unusedignore" {
@@ -194,5 +194,79 @@ func TestAuditUnusedDirectives(t *testing.T) {
 	}
 	if suppressed != 1 {
 		t.Errorf("suppressed-but-kept findings = %d, want 1", suppressed)
+	}
+}
+
+// TestAuditConsumedIgnores pins the mid-analysis consumption path: a
+// directive that suppressed no diagnostic but was honored by an engine
+// (Pass.MarkIgnoreUsed — e.g. a taint kill) counts as used, while the
+// same directive with no consumption record is flagged stale. The
+// consumption position follows the diagnostic rule: the code's line, with
+// the directive on that line or the one above.
+func TestAuditConsumedIgnores(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := fset.File(f.Pos())
+	// No diagnostics at all; both analyzers ran. Without consumption the
+	// line-4 and line-10 directives are stale.
+	got := Audit(fset, []*ast.File{f}, nil, []string{"check1", "check2"}, true, nil)
+	if n := countUnused(got); n != 2 {
+		t.Fatalf("unused with no consumption = %d, want 2: %+v", n, got)
+	}
+	// Consuming at line 5 (the code under the line-4 directive) for check1
+	// marks that directive live; the trailing line-10 one stays stale.
+	got = Audit(fset, []*ast.File{f}, nil, []string{"check1", "check2"}, true,
+		[]ConsumedIgnore{{Pos: file.LineStart(5), Analyzer: "check1"}})
+	if n := countUnused(got); n != 1 {
+		t.Fatalf("unused after consumption = %d, want 1: %+v", n, got)
+	}
+	// A consumption for an analyzer the directive does not name changes
+	// nothing.
+	got = Audit(fset, []*ast.File{f}, nil, []string{"check1", "check2"}, true,
+		[]ConsumedIgnore{{Pos: file.LineStart(5), Analyzer: "check2"}})
+	if n := countUnused(got); n != 2 {
+		t.Fatalf("unused after mismatched consumption = %d, want 2: %+v", n, got)
+	}
+}
+
+func countUnused(diags []Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if d.Analyzer == "unusedignore" && !d.Note {
+			n++
+		}
+	}
+	return n
+}
+
+// TestIgnoreIndex pins the engine-facing query: Covers mirrors diagnostic
+// suppression reach (directive line and the line below, same file, named
+// analyzer or wildcard).
+func TestIgnoreIndex(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := fset.File(f.Pos())
+	ix := NewIgnoreIndex(fset, []*ast.File{f})
+	cases := []struct {
+		line     int
+		analyzer string
+		want     bool
+	}{
+		{5, "check1", true},  // line under the directive
+		{4, "check1", true},  // the directive's own line
+		{6, "check1", false}, // out of reach
+		{5, "check2", false}, // analyzer not named
+		{10, "check2", true}, // trailing same-line list form
+	}
+	for _, c := range cases {
+		if got := ix.Covers(file.LineStart(c.line), c.analyzer); got != c.want {
+			t.Errorf("Covers(line %d, %s) = %v, want %v", c.line, c.analyzer, got, c.want)
+		}
 	}
 }

@@ -60,6 +60,7 @@ func RunSuite(t *testing.T, testdata string, analyzers []*analysis.Analyzer, imp
 func runSuite(t *testing.T, analyzers []*analysis.Analyzer, pkg *load.Package, store *analysis.FactStore) []analysis.Diagnostic {
 	t.Helper()
 	var diags []analysis.Diagnostic
+	var consumed []analysis.ConsumedIgnore
 	ran := make([]string, 0, len(analyzers))
 	auditUnused := false
 	for _, a := range analyzers {
@@ -80,13 +81,16 @@ func runSuite(t *testing.T, analyzers []*analysis.Analyzer, pkg *load.Package, s
 			d.Analyzer = name
 			diags = append(diags, d)
 		}
+		pass.MarkIgnoreUsed = func(pos token.Pos, analyzer string) {
+			consumed = append(consumed, analysis.ConsumedIgnore{Pos: pos, Analyzer: analyzer})
+		}
 		if _, err := a.Run(pass); err != nil {
 			t.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
 		}
 	}
 	// Suppressed findings are invisible to want annotations, exactly as
 	// they are invisible to the production exit code.
-	return analysis.Unsuppressed(analysis.Audit(pkg.Fset, pkg.Files, diags, ran, auditUnused))
+	return analysis.Unsuppressed(analysis.Audit(pkg.Fset, pkg.Files, diags, ran, auditUnused, consumed))
 }
 
 // expectation is one unmatched want regexp at a file:line.

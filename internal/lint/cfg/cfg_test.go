@@ -255,6 +255,110 @@ func TestLabeledBreak(t *testing.T) {
 	}
 }
 
+// TestLabeledBreakOutOfNestedSelect pins the interaction of the label
+// machinery with select: a `break outer` two selects deep must escape
+// both comm clauses and the enclosing loop in one edge.
+func TestLabeledBreakOutOfNestedSelect(t *testing.T) {
+	g, _ := build(t, `var a, b chan int
+outer:
+	for {
+		select {
+		case <-a:
+			break outer
+		case <-b:
+			select {
+			case <-a:
+				break outer
+			case <-b:
+				_ = 1
+			}
+		}
+	}
+	_ = 2`)
+	if !reach(g.Entry, g.Exit) {
+		t.Fatalf("labeled break inside nested selects does not escape the loop:\n%s", g.Dump(nil))
+	}
+}
+
+// TestLabeledContinueOutOfNestedSelect: `continue outer` from a comm
+// clause must edge back to the loop advance, keeping both the back edge
+// and the normal loop exit alive.
+func TestLabeledContinueOutOfNestedSelect(t *testing.T) {
+	g, _ := build(t, `var a, b chan int
+outer:
+	for i := 0; i < 3; i++ {
+		select {
+		case <-a:
+			continue outer
+		case <-b:
+			_ = 1
+		}
+		_ = 2
+	}
+	_ = 3`)
+	if !reach(g.Entry, g.Exit) {
+		t.Fatalf("loop with labeled continue never reaches exit:\n%s", g.Dump(nil))
+	}
+	hasBack := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s.Index < b.Index && s != g.Exit {
+				hasBack = true
+			}
+		}
+	}
+	if !hasBack {
+		t.Fatalf("labeled continue produced no back edge:\n%s", g.Dump(nil))
+	}
+}
+
+// TestGotoIntoLoopBody: the builder must stay robust on a goto targeting
+// a label inside a loop body (the parser accepts it; only the type
+// checker rejects the scope jump), producing a connected graph rather
+// than panicking — analyzers can run on ill-scoped code mid-edit.
+func TestGotoIntoLoopBody(t *testing.T) {
+	g, _ := build(t, `i := 0
+	goto inside
+	for i < 3 {
+	inside:
+		i++
+	}
+	_ = i`)
+	if !reach(g.Entry, g.Exit) {
+		t.Fatalf("goto into loop body disconnects exit:\n%s", g.Dump(nil))
+	}
+	hasBack := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s.Index < b.Index && s != g.Exit {
+				hasBack = true
+			}
+		}
+	}
+	if !hasBack {
+		t.Fatalf("loop entered via goto lost its back edge:\n%s", g.Dump(nil))
+	}
+}
+
+// TestSelectWithDefault: a default arm makes select non-blocking — the
+// header needs a successor per clause and the join must reach exit.
+func TestSelectWithDefault(t *testing.T) {
+	g, _ := build(t, "var a chan int\nselect {\ncase <-a:\n\t_ = 1\ndefault:\n\t_ = 2\n}\n_ = 3")
+	if !reach(g.Entry, g.Exit) {
+		t.Fatalf("select with default does not reach exit:\n%s", g.Dump(nil))
+	}
+	var header *cfg.Block
+	for _, blk := range g.Blocks {
+		if len(blk.Succs) == 2 && blk != g.Exit && reach(blk, g.Exit) {
+			header = blk
+			break
+		}
+	}
+	if header == nil {
+		t.Fatalf("select header with comm+default successors not found:\n%s", g.Dump(nil))
+	}
+}
+
 func TestRangeLoop(t *testing.T) {
 	g, _ := build(t, "xs := []int{1, 2}\nfor _, x := range xs {\n\t_ = x\n}")
 	if !reach(g.Entry, g.Exit) {

@@ -1,0 +1,16 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"sympack/internal/lint/analysis"
+	"sympack/internal/lint/analysistest"
+	"sympack/internal/lint/errflow"
+)
+
+// Packages are listed dependency-first so prod's %w result-flow summary
+// fact is in the store by the time app's erasure sites are judged.
+func TestErrFlow(t *testing.T) {
+	analysistest.RunSuite(t, "testdata", []*analysis.Analyzer{errflow.Analyzer},
+		"sympack/internal/faults", "prod", "app")
+}

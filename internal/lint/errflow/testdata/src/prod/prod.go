@@ -1,0 +1,30 @@
+// Package prod produces taxonomy-derived errors behind a clean API; its
+// result-flow summary must ride the exported fact into consumers.
+package prod
+
+import (
+	"errors"
+	"fmt"
+
+	"sympack/internal/faults"
+)
+
+// Fetch wraps correctly (%w), so the result stays errors.Is-compatible —
+// but it still *carries* the sentinel, and consumers that erase it must
+// be flagged in their own package.
+func Fetch(rank int) error {
+	return fmt.Errorf("prod: fetch from rank %d: %w", rank, faults.ErrTransient)
+}
+
+// Retryable is a classifier helper: the errors.Is lives here, one frame
+// below the branches that key on its verdict. Its consulted-parameter
+// fact (param 0) must ride into consumers.
+func Retryable(err error) bool {
+	return errors.Is(err, faults.ErrTransient)
+}
+
+// Relabel erases the taxonomy at the source: a %v rewrap inside the
+// producing package itself.
+func Relabel(rank int) error {
+	return fmt.Errorf("prod: rank %d: %v", rank, faults.ErrLostSignal) // want "taxonomy error \\(faults\\.ErrLostSignal\\) flows into a %v rewrap \\(severs errors\\.Is; use %w\\)"
+}

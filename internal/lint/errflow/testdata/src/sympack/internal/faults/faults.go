@@ -1,0 +1,12 @@
+// Package faults is a stand-in defining the taxonomy sentinels the
+// analyzer treats as sources.
+package faults
+
+import "errors"
+
+var (
+	ErrTransient    = errors.New("faults: transient fault")
+	ErrLostSignal   = errors.New("faults: lost signal")
+	ErrDeviceFailed = errors.New("faults: device failed")
+	ErrStalled      = errors.New("faults: stalled")
+)

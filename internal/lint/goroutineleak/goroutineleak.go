@@ -28,19 +28,31 @@
 // excused (the process is unwinding).
 //
 // Conservative outs, never reported: buffered channels (the send
-// completes regardless), channels that escape the function (passed to a
-// call, returned, stored, aliased — someone else may consume), channels
-// the function also touches from another function literal (deferred
-// drains), and goroutine-side operations wrapped in a select (assumed to
-// have an escape arm).
+// completes regardless), channels that escape the function (returned,
+// stored, aliased, or passed to a callee that leaks them onward —
+// someone else may consume), channels the function also touches from
+// another function literal (deferred drains), and goroutine-side
+// operations wrapped in a select (assumed to have an escape arm).
+//
+// Passing a channel to a *summarized* callee is no longer an escape.
+// Every function's per-parameter channel behavior (send/receive/close/
+// escape, chased transitively through the internal/lint/callgraph call
+// graph and exported as a Fact for cross-package callers) is summarized,
+// so a call to an inert helper keeps the channel a candidate, a call to
+// a draining helper counts as the consumer, and a helper that sends on
+// the caller's behalf makes the launch `go func() { emit(res) }()`
+// checkable two frames deep. Only a genuinely escaping or unresolvable
+// callee still gives the channel up.
 package goroutineleak
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"sort"
 
 	"sympack/internal/lint/analysis"
+	"sympack/internal/lint/callgraph"
 	"sympack/internal/lint/cfg"
 	"sympack/internal/lint/dataflow"
 )
@@ -54,11 +66,37 @@ var Analyzer = &analysis.Analyzer{
 		"function-local channel is not matched by a consumer on every CFG path " +
 		"of the enclosing function — the goroutine blocks forever when the " +
 		"consuming path is skipped",
-	Run: run,
+	Run:       run,
+	FactTypes: []analysis.Fact{(*chanUseFact)(nil)},
 }
 
+// Channel-use bits of one parameter, as seen from a caller.
+const (
+	useSend uint8 = 1 << iota // the callee may send on it
+	useRecv                   // the callee may receive from it (or range)
+	useClose                  // the callee may close it
+	useEscape                 // the callee leaks the reference onward
+)
+
+// chanUseFact summarizes a function's per-parameter channel behavior for
+// importing packages. Masks[i] is the use-bit union for parameter i
+// (zero for non-channel parameters).
+type chanUseFact struct{ Masks []uint8 }
+
+func (*chanUseFact) AFact() {}
+
+func (f *chanUseFact) String() string { return "chanuse" }
+
 func run(pass *analysis.Pass) (interface{}, error) {
-	w := &walker{pass: pass}
+	graph := callgraph.Build(pass.Pkg, pass.TypesInfo, pass.Files)
+	w := &walker{pass: pass, graph: graph}
+	w.masks = w.computeMasks()
+	for _, node := range graph.Nodes {
+		if m, ok := w.masks[node.Func]; ok && anyNonzero(m) {
+			fact := chanUseFact{Masks: m}
+			pass.ExportObjectFact(node.Func, &fact)
+		}
+	}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
@@ -69,8 +107,191 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	return nil, nil
 }
 
+func anyNonzero(m []uint8) bool {
+	for _, b := range m {
+		if b != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 type walker struct {
-	pass *analysis.Pass
+	pass  *analysis.Pass
+	graph *callgraph.Graph
+	masks map[*types.Func][]uint8
+}
+
+// computeMasks runs the intra-package summary fixpoint: masks only gain
+// bits, so iteration is monotone and bounded.
+func (w *walker) computeMasks() map[*types.Func][]uint8 {
+	masks := map[*types.Func][]uint8{}
+	w.masks = masks
+	for _, n := range w.graph.Nodes {
+		sig, ok := n.Func.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		masks[n.Func] = make([]uint8, sig.Params().Len())
+	}
+	for round := 0; round < 32; round++ {
+		changed := false
+		for _, n := range w.graph.Nodes {
+			if w.updateMask(n, masks) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return masks
+}
+
+// updateMask recomputes one function's per-parameter mask from its body,
+// reporting whether any bit was added.
+func (w *walker) updateMask(node *callgraph.Node, masks map[*types.Func][]uint8) bool {
+	sig, ok := node.Func.Type().(*types.Signature)
+	if !ok || node.Decl.Body == nil {
+		return false
+	}
+	paramIdx := map[types.Object]int{}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if _, isChan := p.Type().Underlying().(*types.Chan); isChan {
+			paramIdx[p] = i
+		}
+	}
+	if len(paramIdx) == 0 {
+		return false
+	}
+	cur := masks[node.Func]
+	next := append([]uint8(nil), cur...)
+
+	// handled marks the exact ident nodes whose use is classified; every
+	// other mention of a channel parameter is an escape.
+	handled := map[*ast.Ident]bool{}
+	mark := func(e ast.Expr, bits uint8) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := w.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return
+		}
+		if i, ok := paramIdx[obj]; ok {
+			handled[id] = true
+			next[i] |= bits
+		}
+	}
+	ast.Inspect(node.Decl.Body, func(nn ast.Node) bool {
+		switch nn := nn.(type) {
+		case *ast.SendStmt:
+			mark(nn.Chan, useSend)
+		case *ast.UnaryExpr:
+			if nn.Op == token.ARROW {
+				mark(nn.X, useRecv)
+			}
+		case *ast.RangeStmt:
+			mark(nn.X, useRecv)
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(nn.Fun).(*ast.Ident); ok {
+				if b, ok := w.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "close":
+						if len(nn.Args) == 1 {
+							mark(nn.Args[0], useClose)
+						}
+					case "len", "cap":
+						for _, a := range nn.Args {
+							mark(a, 0) // pure observation
+						}
+					}
+					return true
+				}
+			}
+			for ai, a := range nn.Args {
+				id, ok := ast.Unparen(a).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := w.pass.TypesInfo.Uses[id]
+				if obj == nil {
+					continue
+				}
+				if _, isParam := paramIdx[obj]; !isParam {
+					continue
+				}
+				mark(a, w.argMask(nn, ai))
+			}
+		}
+		return true
+	})
+	ast.Inspect(node.Decl.Body, func(nn ast.Node) bool {
+		id, ok := nn.(*ast.Ident)
+		if !ok || handled[id] {
+			return true
+		}
+		obj := w.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if i, ok := paramIdx[obj]; ok {
+			next[i] |= useEscape
+		}
+		return true
+	})
+
+	changed := false
+	for i := range next {
+		if next[i] != cur[i] {
+			changed = true
+		}
+	}
+	masks[node.Func] = next
+	return changed
+}
+
+// masksFor returns a callee's per-parameter masks, from the in-package
+// fixpoint or (cross-package) an imported fact.
+func (w *walker) masksFor(fn *types.Func) ([]uint8, bool) {
+	if m, ok := w.masks[fn]; ok {
+		return m, true
+	}
+	var f chanUseFact
+	if w.pass.ImportObjectFact(fn, &f) {
+		return f.Masks, true
+	}
+	return nil, false
+}
+
+// argMask returns what the call may do to its i-th argument: the union
+// over resolved callees' parameter masks, or useEscape when any callee
+// is unknown, unsummarized, or takes the argument variadically.
+func (w *walker) argMask(call *ast.CallExpr, i int) uint8 {
+	callees, kind := w.graph.Resolver.Callees(call)
+	if kind == callgraph.KindUnknown || len(callees) == 0 {
+		return useEscape
+	}
+	var mask uint8
+	for _, fn := range callees {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || i >= sig.Params().Len() {
+			return useEscape
+		}
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			return useEscape
+		}
+		m, ok := w.masksFor(fn)
+		if !ok {
+			return useEscape
+		}
+		if i < len(m) {
+			mask |= m[i]
+		}
+	}
+	return mask
 }
 
 // opKind distinguishes the two ways a goroutine can park on a channel.
@@ -180,6 +401,9 @@ func (w *walker) isUnbufferedMake(e ast.Expr) bool {
 
 // dropEscaping removes channels whose reference leaves the function:
 // once another owner exists, someone else may unblock the goroutine.
+// A call whose callee is summarized (in-package or via an imported
+// chanUseFact) is not an escape unless the summary says so; its send/
+// receive/close behavior is credited at the call site instead.
 func (w *walker) dropEscaping(body *ast.BlockStmt, cands map[types.Object]string) {
 	kill := func(e ast.Expr) {
 		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
@@ -199,8 +423,10 @@ func (w *walker) dropEscaping(body *ast.BlockStmt, cands map[types.Object]string
 					}
 				}
 			}
-			for _, a := range n.Args {
-				kill(a)
+			for i, a := range n.Args {
+				if w.argMask(n, i)&useEscape != 0 {
+					kill(a)
+				}
 			}
 		case *ast.AssignStmt:
 			for _, r := range n.Rhs {
@@ -269,7 +495,9 @@ func (w *walker) checkLaunch(fname string, g *cfg.Graph, goBlock *cfg.Block, goI
 }
 
 // bareOps collects sends/receives on candidate channels in the goroutine
-// body that sit outside any select (and outside nested funclits).
+// body that sit outside any select (and outside nested funclits). A call
+// handing a candidate to a summarized callee that sends or receives is a
+// bare operation too: the goroutine parks inside the callee.
 func (w *walker) bareOps(lit *ast.FuncLit, cands map[types.Object]string) []launchOp {
 	var ops []launchOp
 	var walk func(n ast.Node)
@@ -295,6 +523,28 @@ func (w *walker) bareOps(lit *ast.FuncLit, cands map[types.Object]string) []laun
 			case *ast.RangeStmt:
 				if obj, name, ok := w.candChan(nn.X, cands); ok {
 					ops = append(ops, launchOp{obj, name, opRecv})
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(nn.Fun).(*ast.Ident); ok {
+					if _, isBuiltin := w.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+						return true // close/len/cap never block
+					}
+				}
+				for i, a := range nn.Args {
+					obj, name, ok := w.candChan(a, cands)
+					if !ok {
+						continue
+					}
+					mask := w.argMask(nn, i)
+					if mask&useEscape != 0 {
+						continue // dropEscaping already disqualified it
+					}
+					if mask&useSend != 0 {
+						ops = append(ops, launchOp{obj, name, opSend})
+					}
+					if mask&useRecv != 0 {
+						ops = append(ops, launchOp{obj, name, opRecv})
+					}
 				}
 			}
 			return true
@@ -411,13 +661,32 @@ func (w *walker) nodeConsumes(n ast.Node, op launchOp) bool {
 				}
 			}
 		case *ast.CallExpr:
-			if op.kind == opRecv {
-				if fid, ok := ast.Unparen(nn.Fun).(*ast.Ident); ok {
-					if b, ok := w.pass.TypesInfo.Uses[fid].(*types.Builtin); ok && b.Name() == "close" && len(nn.Args) == 1 {
+			if fid, ok := ast.Unparen(nn.Fun).(*ast.Ident); ok {
+				if b, ok := w.pass.TypesInfo.Uses[fid].(*types.Builtin); ok {
+					if op.kind == opRecv && b.Name() == "close" && len(nn.Args) == 1 {
 						if id, ok := ast.Unparen(nn.Args[0]).(*ast.Ident); ok && w.pass.TypesInfo.Uses[id] == op.obj {
 							found = true
 						}
 					}
+					return !found
+				}
+			}
+			// A summarized callee that performs the matching operation on
+			// the passed channel unblocks the goroutine.
+			for i, a := range nn.Args {
+				id, ok := ast.Unparen(a).(*ast.Ident)
+				if !ok || w.pass.TypesInfo.Uses[id] != op.obj {
+					continue
+				}
+				mask := w.argMask(nn, i)
+				if mask&useEscape != 0 {
+					continue
+				}
+				if op.kind == opSend && mask&useRecv != 0 {
+					found = true
+				}
+				if op.kind == opRecv && mask&(useSend|useClose) != 0 {
+					found = true
 				}
 			}
 		}

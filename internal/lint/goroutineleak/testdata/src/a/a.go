@@ -179,3 +179,77 @@ func zeroIter(n int) {
 		return
 	}
 }
+
+// note is inert: it observes the channel without touching it.
+func note(ch chan int) { use(cap(ch)) }
+
+// inertCallee: passing to an inert callee no longer launders candidacy
+// away — the summarized call is not an escape, and the leak is reported.
+func inertCallee(ctx context.Context) int {
+	res := make(chan int)
+	note(res)
+	go func() { res <- compute() }() // want "goroutine sends on res"
+	select {
+	case r := <-res:
+		return r
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// drainOnce receives exactly once; calling it is a consumer.
+func drainOnce(ch chan int) { use(<-ch) }
+
+// consumingCallee: the unconditional drain call settles the launch.
+func consumingCallee() {
+	res := make(chan int)
+	go func() { res <- compute() }()
+	drainOnce(res)
+}
+
+// consumingCalleeConditional drains on one arm only; still a leak.
+func consumingCalleeConditional(cond bool) {
+	res := make(chan int)
+	go func() { res <- compute() }() // want "goroutine sends on res"
+	if cond {
+		drainOnce(res)
+	}
+}
+
+var published chan int
+
+// stash leaks the reference onward; passing to it is still an escape.
+func stash(ch chan int) { published = ch }
+
+func escapingCallee(cond bool) {
+	res := make(chan int)
+	go func() { res <- compute() }()
+	if cond {
+		stash(res)
+	}
+}
+
+// emit sends on the caller's behalf: the goroutine parks one frame deep.
+func emit(ch chan int) { ch <- compute() }
+
+func helperSend(ctx context.Context) int {
+	res := make(chan int)
+	go func() { emit(res) }() // want "goroutine sends on res"
+	select {
+	case r := <-res:
+		return r
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// closer/closeAll: the close capability propagates transitively through
+// the in-package summary fixpoint.
+func closer(ch chan int)   { close(ch) }
+func closeAll(ch chan int) { closer(ch) }
+
+func recvViaHelper() {
+	done := make(chan int)
+	go func() { use(<-done) }()
+	closeAll(done)
+}

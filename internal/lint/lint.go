@@ -23,12 +23,14 @@ import (
 	"sympack/internal/lint/analysis"
 	"sympack/internal/lint/atomicconsistency"
 	"sympack/internal/lint/ctxflow"
+	"sympack/internal/lint/errflow"
 	"sympack/internal/lint/futureerr"
 	"sympack/internal/lint/goroutineleak"
 	"sympack/internal/lint/load"
 	"sympack/internal/lint/lockorder"
 	"sympack/internal/lint/mapiterdeterminism"
 	"sympack/internal/lint/mutexguard"
+	"sympack/internal/lint/nondetflow"
 	"sympack/internal/lint/unusedignore"
 	"sympack/internal/lint/wallclock"
 )
@@ -38,11 +40,13 @@ func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		atomicconsistency.Analyzer,
 		ctxflow.Analyzer,
+		errflow.Analyzer,
 		futureerr.Analyzer,
 		goroutineleak.Analyzer,
 		lockorder.Analyzer,
 		mapiterdeterminism.Analyzer,
 		mutexguard.Analyzer,
+		nondetflow.Analyzer,
 		unusedignore.Analyzer,
 		wallclock.Analyzer,
 	}
@@ -72,6 +76,7 @@ func RunPackage(p *load.Package, analyzers []*analysis.Analyzer) ([]analysis.Dia
 // previously analyzed (or vetx-decoded) dependencies.
 func RunPackageFacts(p *load.Package, analyzers []*analysis.Analyzer, store *analysis.FactStore) ([]analysis.Diagnostic, error) {
 	var diags []analysis.Diagnostic
+	var consumed []analysis.ConsumedIgnore
 	ran := make([]string, 0, len(analyzers))
 	auditUnused := false
 	for _, a := range analyzers {
@@ -92,11 +97,14 @@ func RunPackageFacts(p *load.Package, analyzers []*analysis.Analyzer, store *ana
 			d.Analyzer = name
 			diags = append(diags, d)
 		}
+		pass.MarkIgnoreUsed = func(pos token.Pos, analyzer string) {
+			consumed = append(consumed, analysis.ConsumedIgnore{Pos: pos, Analyzer: analyzer})
+		}
 		if _, err := a.Run(pass); err != nil {
 			return nil, err
 		}
 	}
-	diags = analysis.Audit(p.Fset, p.Files, diags, ran, auditUnused)
+	diags = analysis.Audit(p.Fset, p.Files, diags, ran, auditUnused, consumed)
 	sortDiagnostics(p.Fset, diags)
 	return diags, nil
 }

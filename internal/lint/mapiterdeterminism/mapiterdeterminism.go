@@ -55,6 +55,10 @@ var deterministicPackages = map[string]bool{
 	// the // want tests pinning them) would flap with map order.
 	"sympack/internal/lint/cfg":      true,
 	"sympack/internal/lint/dataflow": true,
+	// The interprocedural layer doubly so: callgraph resolution order and
+	// taint label propagation decide which diagnostics exist at all.
+	"sympack/internal/lint/callgraph": true,
+	"sympack/internal/lint/taint":     true,
 }
 
 var Analyzer = &analysis.Analyzer{

@@ -42,6 +42,16 @@
 //
 // An annotation naming a mutex field the struct does not have is itself
 // reported: a typo'd guard is a guard that never fires.
+//
+// Callee handling rides the internal/lint/callgraph summaries: every
+// method gets a lockFact describing what it does to its receiver's sync
+// mutexes — Requires (a documented callers-hold contract), Acquires (it
+// locks and leaves the mutex held, the lockAndX idiom), and Releases (it
+// unlocks a mutex it did not take). Facts are exported for cross-package
+// callers. At a call site `e.helper()`, Acquires/Releases update the
+// lockset exactly like an inline Lock/Unlock, and a call to a Requires
+// method while the mutex is not provably held is itself reported — the
+// half of the callers-hold convention that used to be unchecked.
 package mutexguard
 
 import (
@@ -49,8 +59,10 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
+	"sort"
 
 	"sympack/internal/lint/analysis"
+	"sympack/internal/lint/callgraph"
 	"sympack/internal/lint/cfg"
 	"sympack/internal/lint/dataflow"
 )
@@ -62,10 +74,23 @@ var Analyzer = &analysis.Analyzer{
 	Name: Name,
 	Doc: "checks that fields annotated `guarded by <recv>.<mu>` are only " +
 		"accessed while the instance's mutex is provably held (CFG-based " +
-		"lockset must-analysis with callers-hold seeding and fresh-object " +
-		"exemption)",
-	Run: run,
+		"lockset must-analysis with callers-hold seeding, fresh-object " +
+		"exemption, and call-graph lock summaries applied at call sites)",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*lockFact)(nil)},
 }
+
+// lockFact summarizes a method's net effect on its receiver's mutexes,
+// by mutex field name.
+type lockFact struct {
+	Requires []string // documented callers-hold contract
+	Acquires []string // locked on behalf of the caller, still held at return
+	Releases []string // unlocked on behalf of the caller
+}
+
+func (*lockFact) AFact() {}
+
+func (f *lockFact) String() string { return "locks" }
 
 var (
 	guardRe = regexp.MustCompile(`(?i)guarded\s+by\s+(\w+)\.(\w+)`)
@@ -121,12 +146,17 @@ func (lockLattice) Clone(a lockset) lockset { return a.clone() }
 func run(pass *analysis.Pass) (interface{}, error) {
 	w := &walker{
 		pass:   pass,
+		graph:  callgraph.Build(pass.Pkg, pass.TypesInfo, pass.Files),
 		guards: map[*types.Var]string{},
 		fresh:  map[types.Object]bool{},
+		facts:  map[*types.Func]*lockFact{},
 	}
 	w.collectGuards()
-	if len(w.guards) == 0 {
-		return nil, nil
+	w.collectLockFacts()
+	for fn, f := range w.facts {
+		if len(f.Requires)+len(f.Acquires)+len(f.Releases) > 0 {
+			pass.ExportObjectFact(fn, f)
+		}
 	}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
@@ -144,8 +174,126 @@ func run(pass *analysis.Pass) (interface{}, error) {
 
 type walker struct {
 	pass   *analysis.Pass
+	graph  *callgraph.Graph
 	guards map[*types.Var]string // annotated field -> mutex field name
 	fresh  map[types.Object]bool // locals bound to fresh composite literals
+	facts  map[*types.Func]*lockFact
+}
+
+// collectLockFacts computes the per-method summaries: Requires from
+// callers-hold docs, Acquires/Releases from the syntactic Lock/Unlock
+// balance on receiver mutexes. Only clear-cut shapes summarize — a
+// method with mixed lock/unlock traffic on the same mutex has no net
+// effect a caller could rely on.
+func (w *walker) collectLockFacts() {
+	for _, node := range w.graph.Nodes {
+		fd := node.Decl
+		if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+			continue
+		}
+		recvName := fd.Recv.List[0].Names[0].Name
+		recvObj := w.pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+		if recvObj == nil {
+			continue
+		}
+		f := &lockFact{}
+		if fd.Doc != nil {
+			for _, m := range holdRe.FindAllStringSubmatch(fd.Doc.Text(), -1) {
+				if m[1] == recvName {
+					f.Requires = append(f.Requires, m[2])
+				}
+			}
+		}
+		if fd.Body != nil {
+			type balance struct{ lock, unlock, deferUnlock int }
+			counts := map[string]*balance{}
+			tally := func(call *ast.CallExpr, deferred bool) {
+				k, locks, ok := w.lockOp(call)
+				if !ok || k.obj != recvObj {
+					return
+				}
+				b := counts[k.field]
+				if b == nil {
+					b = &balance{}
+					counts[k.field] = b
+				}
+				switch {
+				case locks:
+					b.lock++
+				case deferred:
+					b.deferUnlock++
+				default:
+					b.unlock++
+				}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					return false // its lock traffic is not the method's
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						tally(call, false)
+					}
+				case *ast.DeferStmt:
+					tally(n.Call, true)
+				}
+				return true
+			})
+			var fields []string
+			for mu := range counts {
+				fields = append(fields, mu)
+			}
+			sort.Strings(fields)
+			for _, mu := range fields {
+				b := counts[mu]
+				switch {
+				case b.lock > 0 && b.unlock == 0 && b.deferUnlock == 0:
+					f.Acquires = append(f.Acquires, mu)
+				case b.unlock > 0 && b.lock == 0 && b.deferUnlock == 0:
+					f.Releases = append(f.Releases, mu)
+				}
+			}
+		}
+		w.facts[node.Func] = f
+	}
+}
+
+// factOf returns a callee's lock summary, in-package or imported.
+func (w *walker) factOf(fn *types.Func) (*lockFact, bool) {
+	if f, ok := w.facts[fn]; ok {
+		return f, true
+	}
+	var f lockFact
+	if w.pass.ImportObjectFact(fn, &f) {
+		return &f, true
+	}
+	return nil, false
+}
+
+// callSummary resolves an ExprStmt-level method call `base.m()` to its
+// base object and lock summary.
+func (w *walker) callSummary(call *ast.CallExpr) (types.Object, *lockFact, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, false
+	}
+	base, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil, nil, false
+	}
+	obj := w.pass.TypesInfo.Uses[base]
+	if obj == nil {
+		return nil, nil, false
+	}
+	callees, kind := w.graph.Resolver.Callees(call)
+	if kind != callgraph.KindStatic || len(callees) != 1 {
+		return nil, nil, false
+	}
+	f, ok := w.factOf(callees[0])
+	if !ok {
+		return nil, nil, false
+	}
+	return obj, f, true
 }
 
 // collectGuards reads the annotations off struct fields, validating that
@@ -296,9 +444,11 @@ func (w *walker) analyzeBody(body *ast.BlockStmt, seed lockset) {
 	}
 }
 
-// applyNode mutates ls with the lock operations a node performs. Only
-// direct base.mu.Lock/Unlock statement calls count; a deferred Unlock
-// releases at return, so it keeps the lock held for the rest of the body.
+// applyNode mutates ls with the lock operations a node performs: direct
+// base.mu.Lock/Unlock statement calls, and statement calls to methods
+// whose lock summary acquires or releases on the caller's behalf. A
+// deferred Unlock releases at return, so it keeps the lock held for the
+// rest of the body.
 func (w *walker) applyNode(n ast.Node, ls lockset) {
 	es, ok := n.(*ast.ExprStmt)
 	if !ok {
@@ -313,6 +463,15 @@ func (w *walker) applyNode(n ast.Node, ls lockset) {
 			ls[k] = true
 		} else {
 			delete(ls, k)
+		}
+		return
+	}
+	if base, f, ok := w.callSummary(call); ok {
+		for _, mu := range f.Acquires {
+			ls[lockKey{base, mu}] = true
+		}
+		for _, mu := range f.Releases {
+			delete(ls, lockKey{base, mu})
 		}
 	}
 }
@@ -383,11 +542,34 @@ func (w *walker) checkExpr(n ast.Node, ls lockset) {
 		case *ast.FuncLit:
 			w.analyzeBody(nn.Body, lockset{})
 			return false
+		case *ast.CallExpr:
+			w.checkRequires(nn, ls)
 		case *ast.SelectorExpr:
 			w.checkAccess(nn, ls)
 		}
 		return true
 	})
+}
+
+// checkRequires enforces the callee's callers-hold contract at the call
+// site: calling a method documented "callers hold r.mu" without the
+// base's mutex provably held is the other half of the bug checkAccess
+// catches inside the callee's own package.
+func (w *walker) checkRequires(call *ast.CallExpr, ls lockset) {
+	base, f, ok := w.callSummary(call)
+	if !ok || len(f.Requires) == 0 || w.fresh[base] {
+		return
+	}
+	sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	baseName := ast.Unparen(sel.X).(*ast.Ident).Name
+	for _, mu := range f.Requires {
+		if !ls[lockKey{base, mu}] {
+			w.pass.Reportf(call.Pos(),
+				"%s.%s documents 'callers hold %s.%s' but the mutex is not held at this call — "+
+					"lock it first, or propagate the callers-hold contract",
+				baseName, sel.Sel.Name, baseName, mu)
+		}
+	}
 }
 
 func (w *walker) checkAccess(sel *ast.SelectorExpr, ls lockset) {

@@ -155,3 +155,55 @@ type typo struct {
 }
 
 func use(t *typo) int { return t.x }
+
+// --- call-graph lock summaries ---
+
+// lockUp acquires on the caller's behalf (the lockAndX idiom).
+func (e *eng) lockUp() { e.mu.Lock() }
+
+// release unlocks a mutex it did not take.
+func (e *eng) release() { e.mu.Unlock() }
+
+// drainLocked documents its contract; callers hold e.mu.
+func (e *eng) drainLocked() {
+	e.queue = nil
+	e.n = 0
+}
+
+// summaryAcquire: the helper's Acquires summary marks the lock held, so
+// the access after the call is clean — and the release summary drops it.
+func (e *eng) summaryAcquire() {
+	e.lockUp()
+	e.n++
+	e.release()
+	e.n++ // want "guarded by e.mu"
+}
+
+// requiresHeld: calling a callers-hold method with the lock held is the
+// documented contract.
+func (e *eng) requiresHeld() {
+	e.mu.Lock()
+	e.drainLocked()
+	e.mu.Unlock()
+}
+
+// requiresMissing: the same call without the lock is the other half of
+// the convention, previously unchecked.
+func (e *eng) requiresMissing() {
+	e.drainLocked() // want "documents 'callers hold e.mu' but the mutex is not held"
+}
+
+// requiresViaSummary: an Acquires helper satisfies a Requires callee.
+func (e *eng) requiresViaSummary() {
+	e.lockUp()
+	e.drainLocked()
+	e.release()
+}
+
+// freshRequires: a constructor touching its unpublished value is exempt
+// from the callers-hold contract like any guarded access.
+func newEng() *eng {
+	e := &eng{}
+	e.drainLocked()
+	return e
+}

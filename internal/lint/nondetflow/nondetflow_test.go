@@ -1,0 +1,20 @@
+package nondetflow_test
+
+import (
+	"testing"
+
+	"sympack/internal/lint/analysis"
+	"sympack/internal/lint/analysistest"
+	"sympack/internal/lint/nondetflow"
+	"sympack/internal/lint/unusedignore"
+)
+
+// Packages are listed dependency-first so route's parameter-to-sink
+// summary fact is in the store by the time app's call sites are judged.
+// unusedignore rides along to pin the taint-kill contract: the audited
+// directive in core must count as consumed, not stale.
+func TestNondetFlow(t *testing.T) {
+	analysistest.RunSuite(t, "testdata",
+		[]*analysis.Analyzer{nondetflow.Analyzer, unusedignore.Analyzer},
+		"sympack/internal/upcxx", "sympack/internal/core", "route", "app")
+}

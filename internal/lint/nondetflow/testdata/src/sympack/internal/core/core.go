@@ -1,0 +1,37 @@
+// Package core is a stand-in defining the RTQ comparator fields the
+// analyzer treats as ordering sinks.
+package core
+
+import "time"
+
+type task struct {
+	seq   uint64
+	depth uint64
+	id    int
+}
+
+func renumber(t *task) {
+	t.seq = uint64(time.Now().UnixNano()) // want "wall clock \\(time\\.Now\\)\\) flows into the RTQ comparator key task\\.seq"
+}
+
+func fresh() task {
+	return task{seq: uint64(time.Now().UnixNano())} // want "wall clock \\(time\\.Now\\)\\) flows into the RTQ comparator key task\\.seq"
+}
+
+// renumberAudited proves the taint-kill path: the directive is consumed
+// by the engine (no diagnostic below), and the unusedignore audit must
+// still count it as used rather than stale.
+func renumberAudited(t *task) {
+	//lint:ignore nondetflow tie-breaker only; relative order fixed upstream by the seq ceiling
+	t.seq = uint64(time.Now().UnixNano())
+}
+
+// reseed keeps the helpers referenced so the package type-checks without
+// unused warnings under stricter vet configurations.
+func reseed(t *task) {
+	renumber(t)
+	renumberAudited(t)
+	_ = fresh()
+	_ = t.depth
+	_ = t.id
+}

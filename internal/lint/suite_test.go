@@ -155,7 +155,7 @@ func run() error {
 
 // TestByName covers the driver's analyzer registry.
 func TestByName(t *testing.T) {
-	for _, name := range []string{"atomicconsistency", "ctxflow", "futureerr", "goroutineleak", "lockorder", "mapiterdeterminism", "mutexguard", "unusedignore", "wallclock"} {
+	for _, name := range []string{"atomicconsistency", "ctxflow", "errflow", "futureerr", "goroutineleak", "lockorder", "mapiterdeterminism", "mutexguard", "nondetflow", "unusedignore", "wallclock"} {
 		if a := lint.ByName(name); a == nil || a.Name != name {
 			t.Errorf("ByName(%q) = %v", name, a)
 		}

@@ -66,7 +66,7 @@ func (r *Recorder) EndLane(rank, lane int32, kind string, start time.Duration, d
 	if r == nil {
 		return
 	}
-	//lint:ignore wallclock trace timestamps profile host wall time by design; never feed factor bits
+	//lint:ignore wallclock,nondetflow trace timestamps profile host wall time by design; never feed factor bits
 	now := time.Since(r.t0)
 	r.mu.Lock()
 	r.events = append(r.events, Event{Rank: rank, Lane: lane, Kind: kind, Start: start, End: now, Detail: detail})
