@@ -12,6 +12,8 @@
 //	variants — factorization strong scaling of the three task formulations
 //	         (fan-out / fan-in / fan-both) on the Flan analogue at scales
 //	         1–2 (DESIGN.md §13)
+//	iter   — iterative vs direct time-to-solution and CG/PCG iteration
+//	         counts on the thermal analogue at scales 1–2 (DESIGN.md §14)
 //
 // Usage:
 //
@@ -23,6 +25,7 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
@@ -40,7 +43,7 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: table1|5|6|7|8|9|10|11|12|variants|all")
+		fig   = flag.String("fig", "all", "figure to regenerate: table1|5|6|7|8|9|10|11|12|variants|iter|all")
 		scale = flag.Int("scale", 2, "problem scale for the matrix generators")
 	)
 	flag.StringVar(&csvDir, "csv", "", "also write each figure's series as CSV files into this directory")
@@ -73,6 +76,7 @@ func main() {
 	run("11", scaling("thermal2 analogue", buildThermal, false))
 	run("12", scaling("thermal2 analogue", buildThermal, true))
 	run("variants", variantsFig)
+	run("iter", iterFig)
 
 	if len(figures) > 0 {
 		path := filepath.Join(csvDir, "BENCH_scaling.json")
@@ -128,6 +132,8 @@ func header(name string) string {
 		return "Figure 12: solve strong scaling, thermal analogue"
 	case "variants":
 		return "Scheduling variants: formulation strong scaling, Flan analogue"
+	case "iter":
+		return "Iterative solves: CG/PCG vs direct, thermal analogue"
 	}
 	return name
 }
@@ -293,6 +299,91 @@ func scaling(name string, build func(int) *matrix.SparseSym, solve bool) func(in
 		figures = append(figures, fig)
 		return writeCSV(fig.Name, rows)
 	}
+}
+
+// iterFig compares the iterative-solve subsystem against the direct solver
+// on the thermal analogue — the very-sparse regime where incomplete
+// factorization pays — at scales 1 and 2 (the -scale flag is ignored so the
+// figure stays comparable across revisions). For each scale it times direct
+// factor+solve and then CG, PCG+IC(0) and PCG+IC(1) to rtol 1e-8, printing
+// iteration counts, matvecs and wall time-to-solution; one curve per solver
+// (Nodes = scale, Baseline = direct wall at that scale) lands in
+// BENCH_scaling.json. Wall times vary run to run; iteration counts are
+// bit-deterministic.
+func iterFig(int) error {
+	type curve struct {
+		name string
+		cg   sympack.CGOptions
+	}
+	solvers := []curve{
+		{name: "cg", cg: sympack.CGOptions{Rtol: 1e-8}},
+		{name: "pcg-ic0", cg: sympack.CGOptions{Rtol: 1e-8, Precond: sympack.PrecondIC, ICLevel: 0}},
+		{name: "pcg-ic1", cg: sympack.CGOptions{Rtol: 1e-8, Precond: sympack.PrecondIC, ICLevel: 1}},
+	}
+	figs := make([]sympack.MetricsFigure, len(solvers))
+	for i, s := range solvers {
+		figs[i] = sympack.MetricsFigure{
+			Name:   "iter_thermal_" + s.name,
+			Matrix: "thermal2 analogue",
+			Phase:  "solve",
+		}
+	}
+	directFig := sympack.MetricsFigure{
+		Name: "iter_thermal_direct", Matrix: "thermal2 analogue", Phase: "solve",
+	}
+	rows := [][]string{{"scale", "solver", "iterations", "matvecs", "wall_seconds", "residual"}}
+	for _, scale := range []int{1, 2} {
+		a := buildThermal(scale)
+		// A seeded random RHS: the all-ones vector is nearly an eigenvector
+		// of the thermal problem and converges in one CG step, which says
+		// nothing about the solvers.
+		rng := rand.New(rand.NewSource(int64(scale)))
+		b := make([]float64, a.N)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		fmt.Printf("matrix: thermal analogue scale %d  n=%d nnz=%d\n", scale, a.N, a.NnzFull())
+		fmt.Printf("%-10s %12s %10s %14s %12s\n", "solver", "iterations", "matvecs", "wall", "residual")
+
+		t0 := machine.WallNow()
+		f, err := sympack.Factorize(a, sympack.Options{})
+		if err != nil {
+			return err
+		}
+		x, err := f.Solve(b)
+		if err != nil {
+			return err
+		}
+		directWall := machine.WallSince(t0).Seconds()
+		directRes := sympack.ResidualNorm(a, x, b)
+		fmt.Printf("%-10s %12s %10s %13.4gs %12.3g\n", "direct", "-", "-", directWall, directRes)
+		rows = append(rows, []string{fmt.Sprint(scale), "direct", "0", "0",
+			fmt.Sprintf("%.6g", directWall), fmt.Sprintf("%.3g", directRes)})
+		directFig.Points = append(directFig.Points, sympack.MetricsPoint{
+			Nodes: scale, Seconds: directWall, Baseline: directWall,
+		})
+
+		for i, s := range solvers {
+			t0 := machine.WallNow()
+			res, err := sympack.SolveCG(a, b, sympack.Options{}, s.cg)
+			if err != nil {
+				return err
+			}
+			wall := machine.WallSince(t0).Seconds()
+			rel := sympack.ResidualNorm(a, res.X, b)
+			fmt.Printf("%-10s %12d %10d %13.4gs %12.3g\n", s.name, res.Iterations, res.MatVecs, wall, rel)
+			rows = append(rows, []string{fmt.Sprint(scale), s.name,
+				fmt.Sprint(res.Iterations), fmt.Sprint(res.MatVecs),
+				fmt.Sprintf("%.6g", wall), fmt.Sprintf("%.3g", rel)})
+			figs[i].Points = append(figs[i].Points, sympack.MetricsPoint{
+				Nodes: scale, Seconds: wall, Baseline: directWall, Iterations: res.Iterations,
+			})
+		}
+		fmt.Println()
+	}
+	figures = append(figures, directFig)
+	figures = append(figures, figs...)
+	return writeCSV("iter", rows)
 }
 
 // variantsFig races the three task formulations through the performance

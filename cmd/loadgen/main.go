@@ -42,6 +42,7 @@ func main() {
 		solves   = flag.Int("solves", 2, "solve requests per successful factor")
 		size     = flag.Int("size", 8, "test matrices are size×size 2D Laplacians")
 		patterns = flag.Int("patterns", 4, "distinct sparsity patterns to cycle (analysis-cache pressure)")
+		mix      = flag.Float64("mix", 0, "fraction of sessions driving iterative /v1/solvecg instead of factor+solve (0..1)")
 		deadline = flag.Int64("deadline-ms", 0, "per-request deadline forwarded to the server (0 = none)")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "client-side HTTP timeout per request")
 
@@ -49,7 +50,11 @@ func main() {
 		report      = flag.String("report", "", "write a machine-readable run report to this JSON file ('auto' = BENCH_loadgen_<timestamp>.json)")
 	)
 	flag.Parse()
-	ok, err := run(*addr, *sessions, *requests, *solves, *size, *patterns, *deadline, *timeout, *metricsAddr, *report)
+	if *mix < 0 || *mix > 1 {
+		fmt.Fprintln(os.Stderr, "loadgen: -mix must be in [0, 1]")
+		os.Exit(1)
+	}
+	ok, err := run(*addr, *sessions, *requests, *solves, *size, *patterns, *mix, *deadline, *timeout, *metricsAddr, *report)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
@@ -79,7 +84,7 @@ func expectedStatus(code int) bool {
 	return false
 }
 
-func run(addr string, sessions, requests, solves, size, patterns int, deadlineMillis int64,
+func run(addr string, sessions, requests, solves, size, patterns int, mix float64, deadlineMillis int64,
 	timeout time.Duration, metricsAddr, report string) (bool, error) {
 
 	if patterns < 1 {
@@ -143,6 +148,11 @@ func run(addr string, sessions, requests, solves, size, patterns int, deadlineMi
 		return resp.StatusCode, nil
 	}
 
+	// The first ⌈mix·sessions⌉ sessions drive the iterative endpoint; the
+	// rest run the classic factor+solve flow. Assignment by session index
+	// keeps the blend deterministic for a given flag set.
+	iterSessions := int(mix * float64(sessions))
+
 	start := machine.WallNow()
 	var wg sync.WaitGroup
 	for s := 0; s < sessions; s++ {
@@ -150,12 +160,33 @@ func run(addr string, sessions, requests, solves, size, patterns int, deadlineMi
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			iterative := s < iterSessions
 			for r := 0; r < requests; r++ {
 				base := bases[(s+r)%len(bases)]
 				m := base.Clone()
 				scale := 1 + 0.01*float64(s*31+r) // distinct values → distinct factor keys
 				for i := range m.Val {
 					m.Val[i] *= scale
+				}
+				if iterative {
+					rhs := make([]float64, m.N)
+					for i := range rhs {
+						rhs[i] = float64(i%3) + 1
+					}
+					creq := server.SolveCGRequest{
+						Matrix: server.WireMatrix{
+							N: m.N, ColPtr: m.ColPtr, RowInd: m.RowInd, Val: m.Val,
+						},
+						B: rhs, Solver: "pcg", ICLevel: 1,
+						DeadlineMillis: deadlineMillis,
+					}
+					t0 := machine.WallNow()
+					code, err := post("/v1/solvecg", creq, nil)
+					if err != nil && code == 0 {
+						code = 0
+					}
+					record(outcome{endpoint: "solvecg", code: code, seconds: machine.WallSince(t0).Seconds()})
+					continue
 				}
 				freq := server.FactorRequest{
 					Matrix: server.WireMatrix{
@@ -204,11 +235,17 @@ func summarize(reg *metrics.Registry, results []outcome, wall time.Duration,
 
 	taxonomy := map[int]int64{}
 	var lat []float64
+	latByMode := map[string][]float64{}
 	var shed, unexpected int64
 	for _, o := range results {
 		taxonomy[o.code]++
 		if o.code == http.StatusOK {
 			lat = append(lat, o.seconds)
+			mode := "direct"
+			if o.endpoint == "solvecg" {
+				mode = "iter"
+			}
+			latByMode[mode] = append(latByMode[mode], o.seconds)
 		}
 		if o.code == http.StatusTooManyRequests {
 			shed++
@@ -218,8 +255,7 @@ func summarize(reg *metrics.Registry, results []outcome, wall time.Duration,
 		}
 	}
 	total := int64(len(results))
-	sort.Float64s(lat)
-	p := func(q float64) float64 {
+	pctl := func(lat []float64, q float64) float64 {
 		if len(lat) == 0 {
 			return 0
 		}
@@ -229,10 +265,24 @@ func summarize(reg *metrics.Registry, results []outcome, wall time.Duration,
 		}
 		return lat[i]
 	}
-	p50, p99 := p(0.50), p(0.99)
+	sort.Float64s(lat)
+	p50, p99 := pctl(lat, 0.50), pctl(lat, 0.99)
 
 	reg.Gauge("sympack_loadgen_p50_seconds", "p50 latency of successful requests", metrics.MergeMax).Set(p50)
 	reg.Gauge("sympack_loadgen_p99_seconds", "p99 latency of successful requests", metrics.MergeMax).Set(p99)
+	var modes []string
+	for mode := range latByMode {
+		modes = append(modes, mode)
+	}
+	sort.Strings(modes)
+	for _, mode := range modes {
+		ml := latByMode[mode]
+		sort.Float64s(ml)
+		reg.Gauge("sympack_loadgen_mode_p50_seconds", "p50 latency by session mode", metrics.MergeMax,
+			"mode", mode).Set(pctl(ml, 0.50))
+		reg.Gauge("sympack_loadgen_mode_p99_seconds", "p99 latency by session mode", metrics.MergeMax,
+			"mode", mode).Set(pctl(ml, 0.99))
+	}
 	reg.Gauge("sympack_loadgen_shed_ratio", "fraction of requests shed with 429", metrics.MergeMax).
 		Set(ratio(shed, total))
 	reg.Counter("sympack_loadgen_unexpected_total", "responses outside the expected status vocabulary").
@@ -241,6 +291,11 @@ func summarize(reg *metrics.Registry, results []outcome, wall time.Duration,
 	fmt.Printf("loadgen: %d sessions × %d factor requests in %v\n", sessions, requests, wall.Round(time.Millisecond))
 	fmt.Printf("  requests: %d total, p50 %.1fms, p99 %.1fms (successful only)\n",
 		total, p50*1e3, p99*1e3)
+	for _, mode := range modes {
+		ml := latByMode[mode]
+		fmt.Printf("  %-7s %6d ok, p50 %.1fms, p99 %.1fms\n",
+			mode+":", len(ml), pctl(ml, 0.50)*1e3, pctl(ml, 0.99)*1e3)
+	}
 	fmt.Printf("  shed rate: %.1f%% (%d × 429)\n", 100*ratio(shed, total), shed)
 	fmt.Println("  status taxonomy:")
 	var codes []int

@@ -33,6 +33,10 @@ func main() {
 		ordName = flag.String("ordering", "SCOTCH", "fill-reducing ordering")
 	formNm  = flag.String("formulation", "fan-out", "task formulation: fan-out|fan-in|fan-both")
 	mapNm   = flag.String("mapping", "2d-cyclic", "block→process mapping: 2d-cyclic|1d-cols|subtree")
+		solverNm = flag.String("solver", "direct", "solve strategy: direct|cg|pcg")
+		precNm   = flag.String("precision", "fp64", "factorization precision: fp64|fp32 (fp32 pairs with refinement)")
+		icLevel  = flag.Int("ic-level", 1, "IC(k) fill level for -solver=pcg")
+		rtol     = flag.Float64("rtol", 1e-8, "relative tolerance for -solver=cg|pcg")
 		refine  = flag.Bool("refine", false, "apply iterative refinement")
 		saveFac = flag.String("save-factor", "", "write the factor to this file and exit if no rhs given")
 		loadFac = flag.String("load-factor", "", "load a factor instead of factoring")
@@ -58,10 +62,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spsolve:", err)
 		os.Exit(1)
 	}
-	if err := run(*matPath, *rhsPath, *outPath, *ranks, *workers, *gpus, *ordName, form, bmap, *refine, *saveFac, *loadFac, *selDiag, plan, *metAddr, *report); err != nil {
+	prec, err := sympack.ParsePrecision(*precNm)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "spsolve:", err)
 		os.Exit(1)
 	}
+	switch *solverNm {
+	case "direct", "cg", "pcg":
+	default:
+		fmt.Fprintf(os.Stderr, "spsolve: unknown solver %q (want direct, cg or pcg)\n", *solverNm)
+		os.Exit(1)
+	}
+	iter := iterConfig{solver: *solverNm, precision: prec, icLevel: *icLevel, rtol: *rtol}
+	if err := run(*matPath, *rhsPath, *outPath, *ranks, *workers, *gpus, *ordName, form, bmap, iter, *refine, *saveFac, *loadFac, *selDiag, plan, *metAddr, *report); err != nil {
+		fmt.Fprintln(os.Stderr, "spsolve:", err)
+		os.Exit(1)
+	}
+}
+
+// iterConfig bundles the iterative-solve flags (-solver, -precision,
+// -ic-level, -rtol).
+type iterConfig struct {
+	solver    string
+	precision sympack.Precision
+	icLevel   int
+	rtol      float64
 }
 
 // faultPlan resolves the -chaos / -faults flags into an optional plan.
@@ -85,12 +110,51 @@ func faultPlan(spec string, chaos int64) (*sympack.FaultPlan, error) {
 	}
 }
 
-func run(matPath, rhsPath, outPath string, ranks, workers, gpus int, ordName string, form sympack.Formulation, bmap sympack.MappingKind, refine bool, saveFac, loadFac, selDiag string, plan *sympack.FaultPlan, metAddr, report string) error {
+func run(matPath, rhsPath, outPath string, ranks, workers, gpus int, ordName string, form sympack.Formulation, bmap sympack.MappingKind, iter iterConfig, refine bool, saveFac, loadFac, selDiag string, plan *sympack.FaultPlan, metAddr, report string) error {
 	var (
 		a   *sympack.Matrix
 		f   *sympack.Factor
 		err error
 	)
+	if iter.solver != "direct" {
+		// Iterative path: no complete factorization at all — CG (optionally
+		// through the engine-built IC(k) preconditioner) solves directly.
+		if matPath == "" {
+			return fmt.Errorf("-solver=%s needs the matrix (-A)", iter.solver)
+		}
+		if a, err = readMatrix(matPath); err != nil {
+			return err
+		}
+		ord, err := parseOrdering(ordName)
+		if err != nil {
+			return err
+		}
+		b := make([]float64, a.N)
+		if rhsPath != "" {
+			if err := readVector(rhsPath, b); err != nil {
+				return err
+			}
+		} else {
+			for i := range b {
+				b[i] = 1
+			}
+		}
+		cg := sympack.CGOptions{Rtol: iter.rtol}
+		if iter.solver == "pcg" {
+			cg.Precond = sympack.PrecondIC
+			cg.ICLevel = iter.icLevel
+		}
+		res, err := sympack.SolveCG(a, b, sympack.Options{
+			Ranks: ranks, Workers: workers, GPUsPerNode: gpus, Ordering: ord,
+			Formulation: form, Mapping: bmap, Precision: iter.precision, Faults: plan,
+		}, cg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "spsolve: %s converged in %d iterations (%d matvecs), residual %.3g\n",
+			iter.solver, res.Iterations, res.MatVecs, res.Residual)
+		return writeVector(outPath, res.X)
+	}
 	switch {
 	case loadFac != "":
 		fh, err := os.Open(loadFac)
@@ -119,7 +183,7 @@ func run(matPath, rhsPath, outPath string, ranks, workers, gpus int, ordName str
 		}
 		f, err = sympack.Factorize(a, sympack.Options{
 			Ranks: ranks, Workers: workers, GPUsPerNode: gpus, Ordering: ord, Faults: plan,
-			Formulation: form, Mapping: bmap,
+			Formulation: form, Mapping: bmap, Precision: iter.precision,
 			MetricsAddr: metAddr,
 		})
 		if err != nil {
@@ -184,6 +248,14 @@ func run(matPath, rhsPath, outPath string, ranks, workers, gpus int, ordName str
 		for i := range b {
 			b[i] = 1
 		}
+	}
+	if iter.precision == sympack.PrecFP32 && !refine {
+		// An fp32 factor alone gives single-precision accuracy; refinement
+		// against the fp64 matrix recovers the rest.
+		if a == nil {
+			return fmt.Errorf("-precision=fp32 needs the matrix (-A) for refinement residuals")
+		}
+		refine = true
 	}
 	var x []float64
 	if refine {

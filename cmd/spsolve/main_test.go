@@ -10,6 +10,12 @@ import (
 	"sympack"
 )
 
+// directIter is the default solver configuration: the direct
+// factorization in double precision.
+func directIter() iterConfig {
+	return iterConfig{solver: "direct", precision: sympack.PrecFP64, icLevel: 1, rtol: 1e-8}
+}
+
 func writeTestMatrix(t *testing.T, dir string) (string, *sympack.Matrix) {
 	t.Helper()
 	a := sympack.Laplace2D(9, 9)
@@ -49,7 +55,7 @@ func TestSolveEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	mat, a := writeTestMatrix(t, dir)
 	out := filepath.Join(dir, "x.txt")
-	if err := run(mat, "", out, 2, 0, 0, "SCOTCH", sympack.FanOut, sympack.Map2DCyclic, false, "", "", "", nil, "", ""); err != nil {
+	if err := run(mat, "", out, 2, 0, 0, "SCOTCH", sympack.FanOut, sympack.Map2DCyclic, directIter(), false, "", "", "", nil, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	x := readVec(t, out, a.N)
@@ -68,7 +74,7 @@ func TestSolveVariantEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	mat, a := writeTestMatrix(t, dir)
 	out := filepath.Join(dir, "x.txt")
-	if err := run(mat, "", out, 2, 0, 0, "SCOTCH", sympack.FanBoth, sympack.MapSubtree, false, "", "", "", nil, "", ""); err != nil {
+	if err := run(mat, "", out, 2, 0, 0, "SCOTCH", sympack.FanBoth, sympack.MapSubtree, directIter(), false, "", "", "", nil, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	x := readVec(t, out, a.N)
@@ -81,12 +87,36 @@ func TestSolveVariantEndToEnd(t *testing.T) {
 	}
 }
 
+// TestSolveIterativeEndToEnd drives the CLI's CG and PCG paths: both
+// must produce a solution at the direct path's residual bar.
+func TestSolveIterativeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	mat, a := writeTestMatrix(t, dir)
+	for _, solver := range []string{"cg", "pcg"} {
+		out := filepath.Join(dir, "x_"+solver+".txt")
+		iter := directIter()
+		iter.solver = solver
+		iter.rtol = 1e-10
+		if err := run(mat, "", out, 2, 0, 0, "SCOTCH", sympack.FanOut, sympack.Map2DCyclic, iter, false, "", "", "", nil, "", ""); err != nil {
+			t.Fatalf("%s: %v", solver, err)
+		}
+		x := readVec(t, out, a.N)
+		b := make([]float64, a.N)
+		for i := range b {
+			b[i] = 1
+		}
+		if r := sympack.ResidualNorm(a, x, b); r > 1e-8 {
+			t.Fatalf("%s residual %g", solver, r)
+		}
+	}
+}
+
 func TestFactorCacheRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	mat, a := writeTestMatrix(t, dir)
 	fac := filepath.Join(dir, "a.spkf")
 	// Factor-only invocation.
-	if err := run(mat, "", "", 2, 0, 0, "SCOTCH", sympack.FanOut, sympack.Map2DCyclic, false, fac, "", "", nil, "", ""); err != nil {
+	if err := run(mat, "", "", 2, 0, 0, "SCOTCH", sympack.FanOut, sympack.Map2DCyclic, directIter(), false, fac, "", "", nil, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	// Solve from the cached factor with an explicit rhs.
@@ -99,7 +129,7 @@ func TestFactorCacheRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "x.txt")
-	if err := run("", rhs, out, 2, 0, 0, "SCOTCH", sympack.FanOut, sympack.Map2DCyclic, false, "", fac, "", nil, "", ""); err != nil {
+	if err := run("", rhs, out, 2, 0, 0, "SCOTCH", sympack.FanOut, sympack.Map2DCyclic, directIter(), false, "", fac, "", nil, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	x := readVec(t, out, a.N)
@@ -117,7 +147,7 @@ func TestRefineAndSelinv(t *testing.T) {
 	mat, a := writeTestMatrix(t, dir)
 	out := filepath.Join(dir, "x.txt")
 	diag := filepath.Join(dir, "d.txt")
-	if err := run(mat, "", out, 2, 0, 0, "AMD", sympack.FanOut, sympack.Map2DCyclic, true, "", "", diag, nil, "", ""); err != nil {
+	if err := run(mat, "", out, 2, 0, 0, "AMD", sympack.FanOut, sympack.Map2DCyclic, directIter(), true, "", "", diag, nil, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	d := readVec(t, diag, a.N)
@@ -129,23 +159,23 @@ func TestRefineAndSelinv(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "", 2, 0, 0, "SCOTCH", sympack.FanOut, sympack.Map2DCyclic, false, "", "", "", nil, "", ""); err == nil {
+	if err := run("", "", "", 2, 0, 0, "SCOTCH", sympack.FanOut, sympack.Map2DCyclic, directIter(), false, "", "", "", nil, "", ""); err == nil {
 		t.Fatal("expected error without inputs")
 	}
-	if err := run("/nonexistent.mtx", "", "", 2, 0, 0, "SCOTCH", sympack.FanOut, sympack.Map2DCyclic, false, "", "", "", nil, "", ""); err == nil {
+	if err := run("/nonexistent.mtx", "", "", 2, 0, 0, "SCOTCH", sympack.FanOut, sympack.Map2DCyclic, directIter(), false, "", "", "", nil, "", ""); err == nil {
 		t.Fatal("expected file error")
 	}
 	dir := t.TempDir()
 	mat, _ := writeTestMatrix(t, dir)
-	if err := run(mat, "", "", 2, 0, 0, "BOGUS", sympack.FanOut, sympack.Map2DCyclic, false, "", "", "", nil, "", ""); err == nil {
+	if err := run(mat, "", "", 2, 0, 0, "BOGUS", sympack.FanOut, sympack.Map2DCyclic, directIter(), false, "", "", "", nil, "", ""); err == nil {
 		t.Fatal("expected ordering error")
 	}
 	// Refinement without the matrix must be refused.
 	fac := filepath.Join(dir, "a.spkf")
-	if err := run(mat, "", "", 2, 0, 0, "SCOTCH", sympack.FanOut, sympack.Map2DCyclic, false, fac, "", "", nil, "", ""); err != nil {
+	if err := run(mat, "", "", 2, 0, 0, "SCOTCH", sympack.FanOut, sympack.Map2DCyclic, directIter(), false, fac, "", "", nil, "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", "", filepath.Join(dir, "x.txt"), 2, 0, 0, "SCOTCH", sympack.FanOut, sympack.Map2DCyclic, true, "", fac, "", nil, "", ""); err == nil {
+	if err := run("", "", filepath.Join(dir, "x.txt"), 2, 0, 0, "SCOTCH", sympack.FanOut, sympack.Map2DCyclic, directIter(), true, "", fac, "", nil, "", ""); err == nil {
 		t.Fatal("expected refine-without-matrix error")
 	}
 }

@@ -35,6 +35,10 @@ func main() {
 		ordName  = flag.String("ordering", "SCOTCH", "fill-reducing ordering: SCOTCH|AMD|RCM|NATURAL")
 		formName = flag.String("formulation", "fan-out", "task formulation: fan-out|fan-in|fan-both")
 		mapName  = flag.String("mapping", "2d-cyclic", "block→process mapping: 2d-cyclic|1d-cols|subtree")
+		solverNm = flag.String("solver", "direct", "solve strategy: direct|cg|pcg")
+		precNm   = flag.String("precision", "fp64", "factorization precision: fp64|fp32 (fp32 direct solves auto-refine)")
+		icLevel  = flag.Int("ic-level", 1, "IC(k) fill level for -solver=pcg")
+		rtol     = flag.Float64("rtol", 1e-8, "relative tolerance for -solver=cg|pcg")
 		ranks    = flag.Int("ranks", 4, "number of UPC++ processes to simulate")
 		workers  = flag.Int("workers", 0, "executor goroutines per rank (0 = SYMPACK_WORKERS env, else GOMAXPROCS/ranks)")
 		rpn      = flag.Int("ranks-per-node", 0, "ranks per node (0 = all on one node)")
@@ -73,6 +77,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sympack2d:", err)
 		os.Exit(1)
 	}
+	prec, err := sympack.ParsePrecision(*precNm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sympack2d:", err)
+		os.Exit(1)
+	}
 	opt := sympack.Options{
 		Ranks:        *ranks,
 		Workers:      *workers,
@@ -81,6 +90,7 @@ func main() {
 		Ordering:     ord,
 		Formulation:  form,
 		Mapping:      bmap,
+		Precision:    prec,
 	}
 	if *devCap > 0 {
 		opt.DeviceCapacity = *devCap * (1 << 20) / 8
@@ -105,6 +115,16 @@ func main() {
 		name, a.N, a.NnzFull(), ord, *ranks, *gpus, form, bmap)
 	if plan != nil {
 		fmt.Printf("fault injection: %s  (seed %d)\n", planDesc, plan.Seed)
+	}
+
+	switch *solverNm {
+	case "direct":
+	case "cg", "pcg":
+		runIterative(a, opt, *solverNm, *icLevel, *rtol, *nrhs, *seed)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "sympack2d: unknown solver %q (want direct, cg or pcg)\n", *solverNm)
+		os.Exit(1)
 	}
 
 	f, err := sympack.Factorize(a, opt)
@@ -135,7 +155,17 @@ func main() {
 		}
 		b := a.MulVec(xTrue)
 		var x []float64
-		if *distSol {
+		if prec == sympack.PrecFP32 {
+			// An fp32 factor alone gives single-precision accuracy;
+			// refinement against the fp64 matrix recovers the rest.
+			var rel float64
+			var sweeps int
+			x, rel, sweeps, err = f.SolveRefined(a, b, 1e-14, 5)
+			if err == nil {
+				fmt.Printf("solve %d: %d refinement sweeps  relative residual=%.3g\n", r, sweeps, rel)
+				continue
+			}
+		} else if *distSol {
 			x, err = f.SolveDistributed(b)
 		} else {
 			x, err = f.Solve(b)
@@ -186,6 +216,36 @@ func main() {
 		for rank := 0; rank < *ranks; rank++ {
 			fmt.Printf("  rank %2d: %5.1f%%\n", rank, 100*util[int32(rank)])
 		}
+	}
+}
+
+// runIterative is the -solver=cg|pcg path: no complete factorization —
+// conjugate gradients (optionally through an engine-built IC(k)
+// preconditioner, whose build honors the full distributed surface in opt)
+// solves each right-hand side.
+func runIterative(a *sympack.Matrix, opt sympack.Options, solver string, icLevel int, rtol float64, nrhs int, seed int64) {
+	cg := sympack.CGOptions{Rtol: rtol}
+	if solver == "pcg" {
+		cg.Precond = sympack.PrecondIC
+		cg.ICLevel = icLevel
+		fmt.Printf("iterative: %s with IC(%d), rtol=%.1g, precision=%v\n", solver, icLevel, rtol, opt.Precision)
+	} else {
+		fmt.Printf("iterative: %s, rtol=%.1g\n", solver, rtol)
+	}
+	rng := rand.New(rand.NewSource(seed + 100))
+	for r := 0; r < nrhs; r++ {
+		xTrue := make([]float64, a.N)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(xTrue)
+		res, err := sympack.SolveCG(a, b, opt, cg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sympack2d: iterative solve failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("solve %d: %d iterations  %d matvecs  relative residual=%.3g\n",
+			r, res.Iterations, res.MatVecs, sympack.ResidualNorm(a, res.X, b))
 	}
 }
 

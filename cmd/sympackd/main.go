@@ -10,7 +10,8 @@
 //	sympackd -addr :8157 -chaos 1 -solver-chaos 1    # chaos soak
 //	curl -s localhost:8157/healthz
 //
-// Endpoints: POST /v1/analyze, /v1/factor, /v1/solve, /v1/solvebatch;
+// Endpoints: POST /v1/analyze, /v1/factor, /v1/solve, /v1/solvebatch,
+// /v1/solvecg (iterative CG/PCG with a cached IC(k) preconditioner);
 // GET /healthz (real readiness: 503 while draining, breaker-open or
 // saturated) and /metrics (Prometheus text). See README "Serving".
 package main

@@ -1,0 +1,373 @@
+package blas
+
+// Single-precision ports of the four factorization kernels, backing the
+// mixed-precision mode (Options.Precision = fp32): the factorization's
+// arithmetic genuinely runs in float32 — every product, sum and square root
+// is rounded to 24-bit significands — while the engine keeps its []float64
+// staging buffers, converting at the kernel boundary (To32/From32). The
+// resulting factor carries fp32-accurate values in fp64 storage, which is
+// what SolveRefined's fp64 refinement loop then polishes back to double
+// precision (the cholespy fp32-solve pattern; DESIGN.md §14).
+//
+// The implementations mirror the float64 kernels' loop shapes exactly, so
+// the operation order — and therefore the rounded bits — is a pure function
+// of the arguments: bit-identical across worker counts, rank counts and
+// scheduling policies, the same determinism contract the fp64 kernels hold.
+
+import (
+	"fmt"
+	"math"
+)
+
+// To32 demotes src into dst element-wise (round-to-nearest-even).
+func To32(dst []float32, src []float64) {
+	_ = dst[len(src)-1]
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}
+
+// From32 promotes src into dst element-wise (exact).
+func From32(dst []float64, src []float32) {
+	_ = dst[len(src)-1]
+	for i, v := range src {
+		dst[i] = float64(v)
+	}
+}
+
+// Round32 rounds every element of a through float32 in place, the storage
+// demotion applied to fp32-mode factor blocks that bypassed a kernel.
+func Round32(a []float64) {
+	for i, v := range a {
+		a[i] = float64(float32(v))
+	}
+}
+
+// Gemm32 is Gemm in float32: C = alpha*op(A)*op(B) + beta*C.
+func Gemm32(ta, tb Trans, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	checkDims(m >= 0 && n >= 0 && k >= 0, "Gemm32: negative dimension m=%d n=%d k=%d", m, n, k)
+	checkDims(ldc >= max(1, m), "Gemm32: ldc=%d < m=%d", ldc, m)
+	if ta == NoTrans {
+		checkDims(lda >= max(1, m), "Gemm32: lda=%d < m=%d", lda, m)
+	} else {
+		checkDims(lda >= max(1, k), "Gemm32: lda=%d < k=%d", lda, k)
+	}
+	if tb == NoTrans {
+		checkDims(ldb >= max(1, k), "Gemm32: ldb=%d < k=%d", ldb, k)
+	} else {
+		checkDims(ldb >= max(1, n), "Gemm32: ldb=%d < n=%d", ldb, n)
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	if beta != 1 {
+		scaleRect32(m, n, beta, c, ldc)
+	}
+	if k == 0 || alpha == 0 {
+		return
+	}
+	at := func(i, l int) float32 {
+		if ta == NoTrans {
+			return a[i+l*lda]
+		}
+		return a[l+i*lda]
+	}
+	bt := func(l, j int) float32 {
+		if tb == NoTrans {
+			return b[l+j*ldb]
+		}
+		return b[j+l*ldb]
+	}
+	for j := 0; j < n; j++ {
+		cj := c[j*ldc : j*ldc+m]
+		for l := 0; l < k; l++ {
+			t := alpha * bt(l, j)
+			if t == 0 {
+				continue
+			}
+			for i := 0; i < m; i++ {
+				cj[i] += t * at(i, l)
+			}
+		}
+	}
+}
+
+func scaleRect32(m, n int, beta float32, c []float32, ldc int) {
+	for j := 0; j < n; j++ {
+		col := c[j*ldc : j*ldc+m]
+		for i := range col {
+			if beta == 0 {
+				col[i] = 0
+			} else {
+				col[i] *= beta
+			}
+		}
+	}
+}
+
+// Syrk32 is Syrk in float32: C = alpha*op(A)*op(A)ᵀ + beta*C on one
+// triangle.
+func Syrk32(uplo Uplo, trans Trans, n, k int, alpha float32, a []float32, lda int, beta float32, c []float32, ldc int) {
+	checkDims(n >= 0 && k >= 0, "Syrk32: negative dimension n=%d k=%d", n, k)
+	checkDims(ldc >= max(1, n), "Syrk32: ldc=%d < n=%d", ldc, n)
+	if n == 0 {
+		return
+	}
+	if beta != 1 {
+		for j := 0; j < n; j++ {
+			var lo, hi int
+			if uplo == Lower {
+				lo, hi = j, n
+			} else {
+				lo, hi = 0, j+1
+			}
+			col := c[j*ldc:]
+			for i := lo; i < hi; i++ {
+				if beta == 0 {
+					col[i] = 0
+				} else {
+					col[i] *= beta
+				}
+			}
+		}
+	}
+	if k == 0 || alpha == 0 {
+		return
+	}
+	at := func(i, l int) float32 {
+		if trans == NoTrans {
+			return a[i+l*lda]
+		}
+		return a[l+i*lda]
+	}
+	for l := 0; l < k; l++ {
+		for j := 0; j < n; j++ {
+			t := alpha * at(j, l)
+			if t == 0 {
+				continue
+			}
+			col := c[j*ldc:]
+			if uplo == Lower {
+				for i := j; i < n; i++ {
+					col[i] += t * at(i, l)
+				}
+			} else {
+				for i := 0; i <= j; i++ {
+					col[i] += t * at(i, l)
+				}
+			}
+		}
+	}
+}
+
+// Trsm32 is Trsm in float32, all eight side/uplo/trans variants: solves
+// op(A)*X = alpha*B (Left) or X*op(A) = alpha*B (Right) in place.
+func Trsm32(side Side, uplo Uplo, trans Trans, m, n int, alpha float32, a []float32, lda int, b []float32, ldb int) {
+	checkDims(m >= 0 && n >= 0, "Trsm32: negative dimension m=%d n=%d", m, n)
+	checkDims(ldb >= max(1, m), "Trsm32: ldb=%d < m=%d", ldb, m)
+	na := m
+	if side == Right {
+		na = n
+	}
+	checkDims(lda >= max(1, na), "Trsm32: lda=%d < order=%d", lda, na)
+	if m == 0 || n == 0 {
+		return
+	}
+	if alpha != 1 {
+		scaleRect32(m, n, alpha, b, ldb)
+	}
+	switch {
+	case side == Left && uplo == Lower && trans == NoTrans:
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+m]
+			for i := 0; i < m; i++ {
+				bj[i] /= a[i+i*lda]
+				t := bj[i]
+				if t == 0 {
+					continue
+				}
+				ai := a[i*lda:]
+				for r := i + 1; r < m; r++ {
+					bj[r] -= t * ai[r]
+				}
+			}
+		}
+	case side == Left && uplo == Lower && trans == Transpose:
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+m]
+			for i := m - 1; i >= 0; i-- {
+				ai := a[i*lda:]
+				s := bj[i]
+				for r := i + 1; r < m; r++ {
+					s -= ai[r] * bj[r]
+				}
+				bj[i] = s / ai[i]
+			}
+		}
+	case side == Left && uplo == Upper && trans == NoTrans:
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+m]
+			for i := m - 1; i >= 0; i-- {
+				bj[i] /= a[i+i*lda]
+				t := bj[i]
+				if t == 0 {
+					continue
+				}
+				ai := a[i*lda:]
+				for r := 0; r < i; r++ {
+					bj[r] -= t * ai[r]
+				}
+			}
+		}
+	case side == Left && uplo == Upper && trans == Transpose:
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+m]
+			for i := 0; i < m; i++ {
+				ai := a[i*lda:]
+				s := bj[i]
+				for r := 0; r < i; r++ {
+					s -= ai[r] * bj[r]
+				}
+				bj[i] = s / ai[i]
+			}
+		}
+	case side == Right && uplo == Lower && trans == NoTrans:
+		for j := n - 1; j >= 0; j-- {
+			bj := b[j*ldb : j*ldb+m]
+			aj := a[j*lda:]
+			for r := j + 1; r < n; r++ {
+				t := aj[r]
+				if t == 0 {
+					continue
+				}
+				br := b[r*ldb : r*ldb+m]
+				for i := 0; i < m; i++ {
+					bj[i] -= t * br[i]
+				}
+			}
+			d := aj[j]
+			for i := 0; i < m; i++ {
+				bj[i] /= d
+			}
+		}
+	case side == Right && uplo == Lower && trans == Transpose:
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+m]
+			for r := 0; r < j; r++ {
+				t := a[j+r*lda]
+				if t == 0 {
+					continue
+				}
+				br := b[r*ldb : r*ldb+m]
+				for i := 0; i < m; i++ {
+					bj[i] -= t * br[i]
+				}
+			}
+			d := a[j+j*lda]
+			for i := 0; i < m; i++ {
+				bj[i] /= d
+			}
+		}
+	case side == Right && uplo == Upper && trans == NoTrans:
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+m]
+			aj := a[j*lda:]
+			for r := 0; r < j; r++ {
+				t := aj[r]
+				if t == 0 {
+					continue
+				}
+				br := b[r*ldb : r*ldb+m]
+				for i := 0; i < m; i++ {
+					bj[i] -= t * br[i]
+				}
+			}
+			d := aj[j]
+			for i := 0; i < m; i++ {
+				bj[i] /= d
+			}
+		}
+	default: // Right, Upper, Transpose
+		for j := n - 1; j >= 0; j-- {
+			bj := b[j*ldb : j*ldb+m]
+			for r := j + 1; r < n; r++ {
+				t := a[j+r*lda]
+				if t == 0 {
+					continue
+				}
+				br := b[r*ldb : r*ldb+m]
+				for i := 0; i < m; i++ {
+					bj[i] -= t * br[i]
+				}
+			}
+			d := a[j+j*lda]
+			for i := 0; i < m; i++ {
+				bj[i] /= d
+			}
+		}
+	}
+}
+
+// Potrf32 computes the float32 Cholesky factorization in place (unblocked;
+// supernode diagonal blocks are width-capped well below the blocking
+// threshold of the fp64 kernel). Returns ErrNotPositiveDefinite with the
+// failing pivot when a pivot is ≤ 0 or NaN — in fp32 that happens for
+// matrices whose conditioning is fine in fp64, which is exactly the signal
+// the engine's fp32→fp64 fallback path consumes.
+func Potrf32(uplo Uplo, n int, a []float32, lda int) error {
+	checkDims(n >= 0, "Potrf32: negative dimension n=%d", n)
+	checkDims(lda >= max(1, n), "Potrf32: lda=%d < n=%d", lda, n)
+	if uplo == Lower {
+		for j := 0; j < n; j++ {
+			aj := a[j*lda:]
+			d := aj[j]
+			for r := 0; r < j; r++ {
+				ljr := a[j+r*lda]
+				d -= ljr * ljr
+			}
+			if d <= 0 || d != d {
+				return fmt.Errorf("%w (fp32 pivot %d, value %g)", ErrNotPositiveDefinite, j, d)
+			}
+			d = float32(math.Sqrt(float64(d)))
+			aj[j] = d
+			for r := 0; r < j; r++ {
+				t := a[j+r*lda]
+				if t == 0 {
+					continue
+				}
+				ar := a[r*lda:]
+				for i := j + 1; i < n; i++ {
+					aj[i] -= t * ar[i]
+				}
+			}
+			inv := 1 / d
+			for i := j + 1; i < n; i++ {
+				aj[i] *= inv
+			}
+		}
+		return nil
+	}
+	for j := 0; j < n; j++ {
+		aj := a[j*lda:]
+		d := aj[j]
+		for r := 0; r < j; r++ {
+			urj := aj[r]
+			d -= urj * urj
+		}
+		if d <= 0 || d != d {
+			return fmt.Errorf("%w (fp32 pivot %d, value %g)", ErrNotPositiveDefinite, j, d)
+		}
+		d = float32(math.Sqrt(float64(d)))
+		aj[j] = d
+		inv := 1 / d
+		for i := j + 1; i < n; i++ {
+			ai := a[i*lda:]
+			s := ai[j]
+			for r := 0; r < j; r++ {
+				s -= aj[r] * ai[r]
+			}
+			ai[j] = s * inv
+		}
+	}
+	return nil
+}

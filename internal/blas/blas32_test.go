@@ -1,0 +1,199 @@
+package blas
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func rand32(rng *rand.Rand, n int) ([]float32, []float64) {
+	s32 := make([]float32, n)
+	s64 := make([]float64, n)
+	for i := range s32 {
+		v := float32(rng.NormFloat64())
+		s32[i] = v
+		s64[i] = float64(v)
+	}
+	return s32, s64
+}
+
+func maxAbsDiff3264(a []float32, b []float64) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// fp32Tol bounds the fp32-vs-fp64 drift of an O(k)-term accumulation of
+// O(1) operands: a generous multiple of k·eps32.
+func fp32Tol(k int) float64 {
+	return 64 * float64(k+1) * 1.19e-7
+}
+
+func TestGemm32MatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, ta := range []Trans{NoTrans, Transpose} {
+		for _, tb := range []Trans{NoTrans, Transpose} {
+			for trial := 0; trial < 10; trial++ {
+				m, n, k := rng.Intn(10)+1, rng.Intn(10)+1, rng.Intn(10)+1
+				lda, ldb := m, k
+				if ta == Transpose {
+					lda = k
+				}
+				if tb == Transpose {
+					ldb = n
+				}
+				asz, bsz := lda*k, ldb*n
+				if ta == Transpose {
+					asz = lda * m
+				}
+				if tb == Transpose {
+					bsz = ldb * k
+				}
+				a32, a64 := rand32(rng, asz)
+				b32, b64 := rand32(rng, bsz)
+				c32, c64 := rand32(rng, m*n)
+				Gemm32(ta, tb, m, n, k, 1, a32, lda, b32, ldb, 1, c32, m)
+				Gemm(ta, tb, m, n, k, 1, a64, lda, b64, ldb, 1, c64, m)
+				if d := maxAbsDiff3264(c32, c64); d > fp32Tol(k)*float64(k) {
+					t.Fatalf("Gemm32(%v,%v) m=%d n=%d k=%d diverged from fp64 by %g", ta, tb, m, n, k, d)
+				}
+			}
+		}
+	}
+}
+
+func TestSyrk32MatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, uplo := range []Uplo{Lower, Upper} {
+		for _, trans := range []Trans{NoTrans, Transpose} {
+			for trial := 0; trial < 10; trial++ {
+				n, k := rng.Intn(10)+1, rng.Intn(10)+1
+				lda := n
+				if trans == Transpose {
+					lda = k
+				}
+				asz := lda * k
+				if trans == Transpose {
+					asz = lda * n
+				}
+				a32, a64 := rand32(rng, asz)
+				c32, c64 := rand32(rng, n*n)
+				Syrk32(uplo, trans, n, k, -1, a32, lda, 1, c32, n)
+				Syrk(uplo, trans, n, k, -1, a64, lda, 1, c64, n)
+				// Syrk only touches one triangle; compare the full buffer
+				// anyway since untouched entries started identical.
+				if d := maxAbsDiff3264(c32, c64); d > fp32Tol(k)*float64(k) {
+					t.Fatalf("Syrk32(%v,%v) n=%d k=%d diverged from fp64 by %g", uplo, trans, n, k, d)
+				}
+			}
+		}
+	}
+}
+
+func TestTrsm32MatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []Uplo{Lower, Upper} {
+			for _, trans := range []Trans{NoTrans, Transpose} {
+				for trial := 0; trial < 6; trial++ {
+					m, n := rng.Intn(8)+1, rng.Intn(8)+1
+					na := m
+					if side == Right {
+						na = n
+					}
+					a32, a64 := rand32(rng, na*na)
+					// Keep the triangular system well conditioned: dominant
+					// diagonal, identical in both precisions.
+					for i := 0; i < na; i++ {
+						a32[i+i*na] = float32(4 + rng.Float64())
+						a64[i+i*na] = float64(a32[i+i*na])
+					}
+					b32, b64 := rand32(rng, m*n)
+					Trsm32(side, uplo, trans, m, n, 1, a32, na, b32, m)
+					Trsm(side, uplo, trans, m, n, 1, a64, na, b64, m)
+					if d := maxAbsDiff3264(b32, b64); d > fp32Tol(na)*float64(na) {
+						t.Fatalf("Trsm32(%v,%v,%v) m=%d n=%d diverged from fp64 by %g", side, uplo, trans, m, n, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPotrf32MatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, uplo := range []Uplo{Lower, Upper} {
+		for trial := 0; trial < 10; trial++ {
+			n := rng.Intn(20) + 1
+			m64 := randSPD(rng, n)
+			Round32(m64)
+			m32 := make([]float32, n*n)
+			To32(m32, m64)
+			if err := Potrf32(uplo, n, m32, n); err != nil {
+				t.Fatalf("Potrf32(%v) n=%d failed on SPD input: %v", uplo, n, err)
+			}
+			if err := Potrf(uplo, n, m64, n); err != nil {
+				t.Fatalf("Potrf(%v) n=%d failed on SPD input: %v", uplo, n, err)
+			}
+			if d := maxAbsDiff3264(m32, m64); d > fp32Tol(n)*float64(n)*4 {
+				t.Fatalf("Potrf32(%v) n=%d diverged from fp64 by %g", uplo, n, d)
+			}
+		}
+	}
+}
+
+func TestPotrf32NotPositiveDefinite(t *testing.T) {
+	a := []float32{1, 2, 2, 1} // eigenvalues 3, -1
+	err := Potrf32(Lower, 2, a, 2)
+	if !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("Potrf32 on indefinite matrix: got %v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+// TestPotrf32TightRange exercises the fp32 failure mode the fallback path
+// depends on: a matrix whose conditioning is survivable in fp64 but whose
+// pivots underflow fp32's relative precision.
+func TestPotrf32TightRange(t *testing.T) {
+	n := 8
+	a64 := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		a64[i+i*n] = 1
+		for j := 0; j < i; j++ {
+			v := 1 - 1e-9 // nearly dependent columns: fp32 can't represent the gap
+			a64[i+j*n] = v
+			a64[j+i*n] = v
+		}
+	}
+	a32 := make([]float32, n*n)
+	To32(a32, a64)
+	if err := Potrf32(Lower, n, a32, n); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("Potrf32 on fp32-degenerate matrix: got %v, want ErrNotPositiveDefinite", err)
+	}
+	if err := Potrf(Lower, n, a64, n); err != nil {
+		t.Fatalf("Potrf (fp64) should survive the same matrix, got %v", err)
+	}
+}
+
+func TestRound32Conversions(t *testing.T) {
+	src := []float64{1.0 / 3.0, math.Pi, -2.5e-20, 1e20}
+	dst32 := make([]float32, len(src))
+	To32(dst32, src)
+	back := make([]float64, len(src))
+	From32(back, dst32)
+	rounded := append([]float64(nil), src...)
+	Round32(rounded)
+	for i := range src {
+		if back[i] != rounded[i] {
+			t.Fatalf("Round32[%d]=%g disagrees with To32∘From32=%g", i, rounded[i], back[i])
+		}
+		if back[i] != float64(float32(src[i])) {
+			t.Fatalf("conversion chain[%d]=%g not round-to-nearest of %g", i, back[i], src[i])
+		}
+	}
+}

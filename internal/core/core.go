@@ -67,6 +67,13 @@ type Options struct {
 	// Symbolic tunes supernode detection; zero value means
 	// symbolic.DefaultOptions.
 	Symbolic *symbolic.Options
+	// Precision selects the kernel arithmetic: PrecFP64 (default) or
+	// PrecFP32, the mixed-precision mode — single-precision POTRF / TRSM /
+	// SYRK / GEMM on the CPU with fp64 storage and half the modeled wire
+	// bytes, intended to be paired with SolveRefined's fp64 refinement.
+	// When the fp32 pivots break down on a matrix that is SPD in fp64,
+	// FactorizeAnalyzed transparently retries in fp64.
+	Precision Precision
 	// Scheduling selects the RTQ policy (paper §3.4 leaves this open:
 	// "the next task ... is whichever one is at the top of the queue";
 	// evaluating policies was flagged as future work, so all three are
@@ -318,7 +325,25 @@ func Factorize(a *matrix.SparseSym, opt Options) (*Factor, error) {
 // available (pa must be the permuted matrix returned by symbolic.Analyze).
 // Reusing the analysis across factorizations of same-structure matrices is
 // the pattern of the paper's PEXSI use case (§5.3).
+//
+// Under Options.Precision == PrecFP32, a breakdown of the single-precision
+// pivots (ErrNotPositiveDefinite on a matrix that may well be SPD in fp64)
+// triggers one transparent retry at full precision; the fallback is counted
+// on the returned factor's registry as sympack_iter_fp32_fallbacks_total.
 func FactorizeAnalyzed(st *symbolic.Structure, pa *matrix.SparseSym, opt Options) (*Factor, error) {
+	f, err := factorizeAnalyzedOnce(st, pa, opt)
+	if err != nil && opt.Precision == PrecFP32 && errors.Is(err, ErrNotPositiveDefinite) {
+		opt.Precision = PrecFP64
+		f, err = factorizeAnalyzedOnce(st, pa, opt)
+		if err == nil && f.Metrics != nil {
+			f.Metrics.Counter("sympack_iter_fp32_fallbacks_total",
+				"factorizations retried in fp64 after fp32 pivot breakdown").Inc()
+		}
+	}
+	return f, err
+}
+
+func factorizeAnalyzedOnce(st *symbolic.Structure, pa *matrix.SparseSym, opt Options) (*Factor, error) {
 	opt = opt.withDefaults()
 	if ctx := opt.Context; ctx != nil {
 		if err := ctx.Err(); err != nil {
@@ -337,6 +362,7 @@ func FactorizeAnalyzed(st *symbolic.Structure, pa *matrix.SparseSym, opt Options
 		DeviceCapacity: opt.DeviceCapacity,
 		Faults:         inj,
 		Trace:          opt.Trace,
+		ElemBytes:      opt.Precision.elemBytes(),
 	})
 	if err != nil {
 		return nil, err

@@ -339,6 +339,18 @@ func (e *engine) assemble() {
 
 // rowPosInBlock locates global row r within a block's row list.
 func (e *engine) rowPosInBlock(b *symbolic.Block, r int32) int {
+	pos := e.rowPosInBlockOrMissing(b, r)
+	if pos < 0 {
+		panic(fmt.Sprintf("core: row %d not in block %d", r, b.ID))
+	}
+	return pos
+}
+
+// rowPosInBlockOrMissing locates global row r within a block's row list,
+// returning -1 when the row is absent — which only incomplete (IC) scatter
+// tolerates: a source row whose target position was dropped by the level
+// rule discards its contribution instead of landing it.
+func (e *engine) rowPosInBlockOrMissing(b *symbolic.Block, r int32) int {
 	sn := &e.st.Snodes[b.Snode]
 	rows := sn.Rows[b.RowOff : b.RowOff+b.NRows]
 	lo, hi := 0, len(rows)
@@ -351,7 +363,7 @@ func (e *engine) rowPosInBlock(b *symbolic.Block, r int32) int {
 		}
 	}
 	if lo == len(rows) || rows[lo] != r {
-		panic(fmt.Sprintf("core: row %d not in block %d", r, b.ID))
+		return -1
 	}
 	return lo
 }
@@ -842,9 +854,13 @@ func (e *engine) runDiag(bid int32) {
 	data := e.owned[bid]
 	n, _ := blockDims(st, b)
 	var err error
-	if e.offload(machine.OpPotrf, n*n) {
+	switch {
+	case e.offload(machine.OpPotrf, n*n):
 		err = e.gpuPotrf(n, data)
-	} else {
+	case e.fp32():
+		e.chargeCPU(machine.OpPotrf, machine.KernelFlops(machine.OpPotrf, 0, n, 0))
+		err = potrf32(n, data)
+	default:
 		e.chargeCPU(machine.OpPotrf, machine.KernelFlops(machine.OpPotrf, 0, n, 0))
 		err = blas.Potrf(blas.Lower, n, data, n)
 	}
@@ -903,17 +919,25 @@ func (e *engine) runUpdate(ui int32) {
 	syrk := u.IsSyrk()
 	hostA := e.hostOf(u.BlkA)
 	if syrk {
-		if e.offload(machine.OpSyrk, mB*nA) {
+		switch {
+		case e.offload(machine.OpSyrk, mB*nA):
 			e.gpuSyrk(mB, w, hostA, scratch)
-		} else {
+		case e.fp32():
+			e.chargeCPU(machine.OpSyrk, machine.KernelFlops(machine.OpSyrk, mB, w, 0))
+			syrk32(mB, w, hostA, scratch)
+		default:
 			e.chargeCPU(machine.OpSyrk, machine.KernelFlops(machine.OpSyrk, mB, w, 0))
 			blas.Syrk(blas.Lower, blas.NoTrans, mB, w, 1, hostA, mB, 0, scratch, mB)
 		}
 	} else {
 		hostB := e.hostOf(u.BlkB)
-		if e.offload(machine.OpGemm, mB*nA) {
+		switch {
+		case e.offload(machine.OpGemm, mB*nA):
 			e.gpuGemm(mB, nA, w, hostB, hostA, scratch)
-		} else {
+		case e.fp32():
+			e.chargeCPU(machine.OpGemm, machine.KernelFlops(machine.OpGemm, mB, nA, w))
+			gemm32(mB, nA, w, hostB, hostA, scratch)
+		default:
 			e.chargeCPU(machine.OpGemm, machine.KernelFlops(machine.OpGemm, mB, nA, w))
 			blas.Gemm(blas.NoTrans, blas.Transpose, mB, nA, w, 1, hostB, mB, hostA, nA, 0, scratch, mB)
 		}
@@ -1013,8 +1037,17 @@ func (e *engine) scatterSub(ui int32, scratch []float64) {
 	rowsA := snj.Rows[ba.RowOff : ba.RowOff+ba.NRows]
 	ldT := int(tb.NRows)
 	rpos := make([]int, mB)
-	for x, r := range rowsB {
-		rpos[x] = e.rowPosInBlock(tb, r)
+	if e.st.Incomplete {
+		// IC structures drop rows individually: a block that survived the
+		// level rule may still lack some of the source's rows. Missing
+		// positions mark their contributions for discard.
+		for x, r := range rowsB {
+			rpos[x] = e.rowPosInBlockOrMissing(tb, r)
+		}
+	} else {
+		for x, r := range rowsB {
+			rpos[x] = e.rowPosInBlock(tb, r)
+		}
 	}
 	for y, c := range rowsA {
 		colT := int(c - snk.FirstCol)
@@ -1023,10 +1056,16 @@ func (e *engine) scatterSub(ui int32, scratch []float64) {
 		if syrk {
 			// Only the lower triangle of scratch is populated.
 			for x := y; x < mB; x++ {
+				if rpos[x] < 0 {
+					continue
+				}
 				tdata[rpos[x]+colBase] -= wcol[x]
 			}
 		} else {
 			for x := 0; x < mB; x++ {
+				if rpos[x] < 0 {
+					continue
+				}
 				tdata[rpos[x]+colBase] -= wcol[x]
 			}
 		}
@@ -1040,6 +1079,16 @@ func (e *engine) scatterSub(ui int32, scratch []float64) {
 // threshold rejections per op.
 func (e *engine) offload(op machine.Op, elems int) bool {
 	if !e.gpuEnabled() {
+		return false
+	}
+	if e.fp32() {
+		// fp32 mode forces CPU kernels: the modeled device speaks fp64
+		// only, and routing some kernels through it would mix precisions
+		// within one factor. Count the offloads the threshold would have
+		// admitted as demotions so the cost of the policy is visible.
+		if e.opt.Thresholds.ShouldOffload(op, elems) {
+			e.met.fp32Demotions.Inc()
+		}
 		return false
 	}
 	if !e.opt.Thresholds.ShouldOffload(op, elems) {
@@ -1153,6 +1202,10 @@ func (e *engine) gpuTrsm(m, n int, diagID int32, data []float64) {
 func (e *engine) cpuTrsm(m, n int, diagID int32, data []float64) {
 	e.chargeCPU(machine.OpTrsm, machine.KernelFlops(machine.OpTrsm, m, n, 0))
 	diag := e.hostOf(diagID)
+	if e.fp32() {
+		trsm32(m, n, diag, data)
+		return
+	}
 	blas.Trsm(blas.Right, blas.Lower, blas.Transpose, m, n, 1, diag, n, data, m)
 }
 

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"sympack/internal/matrix"
+	"sympack/internal/metrics"
 )
 
 // SolveRefined solves A·x = b and applies iterative refinement until the
@@ -39,12 +40,20 @@ func (f *Factor) SolveRefined(a *matrix.SparseSym, b []float64, tol float64, max
 		}
 		return math.Sqrt(rr / bb)
 	}
+	var sweeps *metrics.Counter
+	if f.Metrics != nil {
+		sweeps = f.Metrics.Counter("sympack_iter_refine_sweeps_total",
+			"iterative-refinement sweeps performed by SolveRefined")
+	}
 	rel := res()
 	iters := 0
 	for ; iters < maxIter && rel > tol; iters++ {
 		d, err := f.Solve(r)
 		if err != nil {
 			return nil, 0, iters, err
+		}
+		if sweeps != nil {
+			sweeps.Inc()
 		}
 		for i := range x {
 			x[i] += d[i]

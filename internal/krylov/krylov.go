@@ -1,0 +1,242 @@
+// Package krylov implements the conjugate-gradient drivers of the
+// iterative-solve subsystem: CG and preconditioned CG over any SPD operator,
+// with the blocked IC(k) factor of internal/precond as the intended
+// preconditioner (Kim et al.'s partitioned-block incomplete Cholesky,
+// PAPERS.md).
+//
+// Determinism contract: every inner product is computed by Dot, a fixed
+// recursive pairwise reduction whose association tree depends only on the
+// vector length — never on worker count, rank count, scheduling policy or
+// chunk boundaries. With a bit-deterministic operator (matrix.SparseSym's
+// column-order MulVecTo) and preconditioner (the engine's ordered-apply
+// factor + sequential triangular solves), every iterate, residual and
+// scalar of the CG recurrence is a pure function of (A, M, b, options) —
+// the same bit-identity guarantee the factorization makes, extended to
+// iterate trajectories.
+package krylov
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"sympack/internal/machine"
+	"sympack/internal/metrics"
+)
+
+// Operator is a symmetric positive definite linear operator y = A·x.
+// matrix.SparseSym satisfies it.
+type Operator interface {
+	MulVecTo(y, x []float64)
+}
+
+// Preconditioner applies z = M⁻¹·r for an SPD approximation M ≈ A.
+type Preconditioner interface {
+	Apply(z, r []float64) error
+}
+
+// ErrIndefinite is returned when the CG recurrence meets a non-positive
+// curvature pᵀAp ≤ 0 or a non-positive preconditioned product rᵀz ≤ 0: the
+// operator (or preconditioner) is not positive definite on the Krylov
+// space, and the recurrence's divisions are meaningless past this point.
+var ErrIndefinite = errors.New("krylov: operator not positive definite")
+
+// ErrNoConvergence is returned when MaxIter iterations pass without the
+// residual reaching tolerance. The partial Result is still returned.
+var ErrNoConvergence = errors.New("krylov: no convergence within iteration budget")
+
+// Options configures a CG solve.
+type Options struct {
+	// Rtol is the relative tolerance: converge when ‖r‖ ≤ max(Rtol·‖b‖,
+	// Atol). 0 means 1e-8.
+	Rtol float64
+	// Atol is the absolute tolerance floor (0 = none).
+	Atol float64
+	// MaxIter bounds the iteration count (0 = 10·n, capped at 10000).
+	MaxIter int
+	// Precond, when non-nil, turns CG into PCG.
+	Precond Preconditioner
+	// Ctx, when non-nil, bounds the solve: cancellation is checked once
+	// per iteration and surfaces as the context's error.
+	Ctx context.Context
+	// Metrics, when non-nil, receives iteration counts, matvec counts,
+	// outcome tallies and the final residual observation.
+	Metrics *metrics.IterMetrics
+	// RecordTrajectory retains ‖r‖ after every iteration in
+	// Result.Trajectory — the bit-comparison artifact of the conformance
+	// tests. Off by default to keep long solves allocation-light.
+	RecordTrajectory bool
+}
+
+// Result reports a CG solve.
+type Result struct {
+	X          []float64
+	Iterations int
+	MatVecs    int
+	// Residual is the final relative residual ‖r‖/‖b‖ (2-norm, from the
+	// recurrence).
+	Residual  float64
+	Converged bool
+	// Trajectory holds ‖r‖ after each iteration when RecordTrajectory was
+	// set; bit-identical across worker and rank counts.
+	Trajectory []float64
+}
+
+// dotBlock is the pairwise-reduction leaf size: below it the sum runs
+// sequentially. A fixed constant — never derived from worker counts — so
+// the association tree is a pure function of the length.
+const dotBlock = 512
+
+// Dot returns xᵀy by fixed-shape recursive pairwise reduction. Beyond its
+// O(ε·log n) error advantage over sequential summation, its purpose is
+// determinism: the same association tree for a given n, every time,
+// everywhere.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("krylov: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	return pairwiseDot(x, y)
+}
+
+func pairwiseDot(x, y []float64) float64 {
+	n := len(x)
+	if n <= dotBlock {
+		var s float64
+		for i, v := range x {
+			s += v * y[i]
+		}
+		return s
+	}
+	h := n / 2
+	return pairwiseDot(x[:h], y[:h]) + pairwiseDot(x[h:], y[h:])
+}
+
+// Norm2 returns ‖x‖₂ with the same fixed reduction shape as Dot.
+func Norm2(x []float64) float64 { return math.Sqrt(pairwiseDot(x, x)) }
+
+// Solve runs (preconditioned) conjugate gradients on A·x = b from the zero
+// initial guess. On ErrIndefinite or ErrNoConvergence the partial Result is
+// returned alongside the error; on context cancellation the context's error
+// is wrapped.
+func Solve(a Operator, b []float64, opt Options) (*Result, error) {
+	n := len(b)
+	if opt.Rtol == 0 {
+		opt.Rtol = 1e-8
+	}
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 10 * n
+		if opt.MaxIter > 10000 {
+			opt.MaxIter = 10000
+		}
+	}
+	res := &Result{X: make([]float64, n)}
+	met := opt.Metrics
+
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		// b = 0 ⇒ x = 0 exactly.
+		res.Converged = true
+		if met != nil {
+			met.Converged.Inc()
+			met.ResidualNorm.Observe(0)
+		}
+		return res, nil
+	}
+	threshold := opt.Rtol * bnorm
+	if opt.Atol > threshold {
+		threshold = opt.Atol
+	}
+
+	r := make([]float64, n)
+	copy(r, b) // r = b - A·0
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	applyPrecond := func() error {
+		if opt.Precond == nil {
+			copy(z, r)
+			return nil
+		}
+		start := machine.WallNow()
+		err := opt.Precond.Apply(z, r)
+		if met != nil {
+			met.PrecondApplySeconds.Observe(machine.WallSince(start).Seconds())
+		}
+		return err
+	}
+
+	finish := func(rnorm float64, err error) (*Result, error) {
+		res.Residual = rnorm / bnorm
+		if met != nil {
+			met.ResidualNorm.Observe(res.Residual)
+			if res.Converged {
+				met.Converged.Inc()
+			}
+			if errors.Is(err, ErrIndefinite) {
+				met.Breakdowns.Inc()
+			}
+		}
+		return res, err
+	}
+
+	if err := applyPrecond(); err != nil {
+		return finish(bnorm, err)
+	}
+	rz := Dot(r, z)
+	if opt.Precond != nil && rz <= 0 {
+		return finish(bnorm, fmt.Errorf("%w: preconditioner yielded rᵀz = %g", ErrIndefinite, rz))
+	}
+	copy(p, z)
+	rnorm := bnorm
+
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		if ctx := opt.Ctx; ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return finish(rnorm, fmt.Errorf("krylov: solve canceled: %w", err))
+			}
+		}
+		a.MulVecTo(ap, p)
+		res.MatVecs++
+		if met != nil {
+			met.MatVecs.Inc()
+		}
+		pap := Dot(p, ap)
+		if pap <= 0 {
+			return finish(rnorm, fmt.Errorf("%w: curvature pᵀAp = %g at iteration %d", ErrIndefinite, pap, iter))
+		}
+		alpha := rz / pap
+		for i := range res.X {
+			res.X[i] += alpha * p[i]
+		}
+		for i := range r {
+			r[i] -= alpha * ap[i]
+		}
+		res.Iterations++
+		if met != nil {
+			met.Iterations.Inc()
+		}
+		rnorm = Norm2(r)
+		if opt.RecordTrajectory {
+			res.Trajectory = append(res.Trajectory, rnorm)
+		}
+		if rnorm <= threshold {
+			res.Converged = true
+			return finish(rnorm, nil)
+		}
+		if err := applyPrecond(); err != nil {
+			return finish(rnorm, err)
+		}
+		rzNext := Dot(r, z)
+		if opt.Precond != nil && rzNext <= 0 {
+			return finish(rnorm, fmt.Errorf("%w: preconditioner yielded rᵀz = %g at iteration %d", ErrIndefinite, rzNext, iter))
+		}
+		beta := rzNext / rz
+		rz = rzNext
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return finish(rnorm, fmt.Errorf("%w: ‖r‖/‖b‖ = %g after %d iterations", ErrNoConvergence, rnorm/bnorm, res.Iterations))
+}

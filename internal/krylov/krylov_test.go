@@ -1,0 +1,201 @@
+package krylov
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sympack/internal/gen"
+)
+
+func TestDotMatchesSequentialSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 7, dotBlock, dotBlock + 1, 3*dotBlock + 17} {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i], y[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		var want float64
+		for i := range x {
+			want += x[i] * y[i]
+		}
+		got := Dot(x, y)
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("n=%d: Dot=%g, sequential=%g", n, got, want)
+		}
+	}
+}
+
+// TestDotShapeIndependence: the reduction result must be a pure function of
+// the data — recomputing on copies or subslices of a larger backing array
+// gives identical bits.
+func TestDotShapeIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 4*dotBlock + 333
+	backing := make([]float64, n+64)
+	for i := range backing {
+		backing[i] = rng.NormFloat64()
+	}
+	x := backing[32 : 32+n]
+	xc := append([]float64(nil), x...)
+	if Dot(x, x) != Dot(xc, xc) {
+		t.Fatal("Dot result depends on slice identity, not content")
+	}
+}
+
+func TestCGConvergesOnSPD(t *testing.T) {
+	a := gen.Laplace2D(12, 12)
+	n := a.N
+	b := make([]float64, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	res, err := Solve(a, b, Options{Rtol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("CG did not converge on a Laplacian")
+	}
+	// Check the true residual, not just the recurrence's.
+	r := make([]float64, n)
+	a.MulVecTo(r, res.X)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	if rel := Norm2(r) / Norm2(b); rel > 1e-8 {
+		t.Fatalf("true relative residual %g exceeds 1e-8", rel)
+	}
+	if res.MatVecs != res.Iterations {
+		t.Fatalf("MatVecs=%d, Iterations=%d; CG performs one matvec per iteration", res.MatVecs, res.Iterations)
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	a := gen.Laplace2D(4, 4)
+	res, err := Solve(a, make([]float64, a.N), Options{})
+	if err != nil || !res.Converged {
+		t.Fatalf("zero rhs: err=%v converged=%v", err, res.Converged)
+	}
+	for _, v := range res.X {
+		if v != 0 {
+			t.Fatal("zero rhs must give zero solution")
+		}
+	}
+}
+
+// indefOp is a diagonal operator with one negative eigenvalue.
+type indefOp struct{ n int }
+
+func (o indefOp) MulVecTo(y, x []float64) {
+	copy(y, x)
+	y[0] = -x[0]
+}
+
+func TestCGIndefiniteBreakdown(t *testing.T) {
+	n := 8
+	b := make([]float64, n)
+	b[0] = 1
+	res, err := Solve(indefOp{n}, b, Options{})
+	if !errors.Is(err, ErrIndefinite) {
+		t.Fatalf("want ErrIndefinite, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("breakdown must still return the partial result")
+	}
+}
+
+// indefPrecond flips the sign of r, making rᵀz negative.
+type indefPrecond struct{}
+
+func (indefPrecond) Apply(z, r []float64) error {
+	for i := range r {
+		z[i] = -r[i]
+	}
+	return nil
+}
+
+func TestPCGPrecondIndefiniteBreakdown(t *testing.T) {
+	a := gen.Laplace2D(5, 5)
+	b := make([]float64, a.N)
+	b[0] = 1
+	_, err := Solve(a, b, Options{Precond: indefPrecond{}})
+	if !errors.Is(err, ErrIndefinite) {
+		t.Fatalf("want ErrIndefinite from indefinite preconditioner, got %v", err)
+	}
+}
+
+func TestCGNoConvergence(t *testing.T) {
+	a := gen.Laplace2D(16, 16)
+	b := make([]float64, a.N)
+	rng := rand.New(rand.NewSource(5))
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	res, err := Solve(a, b, Options{Rtol: 1e-12, MaxIter: 3})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("want ErrNoConvergence, got %v", err)
+	}
+	if res == nil || res.Iterations != 3 {
+		t.Fatalf("partial result should report 3 iterations, got %+v", res)
+	}
+}
+
+func TestCGCanceledContext(t *testing.T) {
+	a := gen.Laplace2D(10, 10)
+	b := make([]float64, a.N)
+	b[0] = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Solve(a, b, Options{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// jacobi is a trivial but genuinely SPD preconditioner for trajectory and
+// acceleration checks that stay inside this package.
+type jacobi struct{ inv []float64 }
+
+func (j jacobi) Apply(z, r []float64) error {
+	for i := range r {
+		z[i] = j.inv[i] * r[i]
+	}
+	return nil
+}
+
+func TestPCGTrajectoryDeterministic(t *testing.T) {
+	a := gen.Thermal2D(10, 10, 3, 2)
+	b := make([]float64, a.N)
+	rng := rand.New(rand.NewSource(7))
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	inv := make([]float64, a.N)
+	for i, d := range a.Diag() {
+		inv[i] = 1 / d
+	}
+	var ref []float64
+	for trial := 0; trial < 3; trial++ {
+		res, err := Solve(a, b, Options{Rtol: 1e-9, Precond: jacobi{inv}, RecordTrajectory: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial == 0 {
+			ref = res.Trajectory
+			continue
+		}
+		if len(res.Trajectory) != len(ref) {
+			t.Fatalf("trajectory length changed: %d vs %d", len(res.Trajectory), len(ref))
+		}
+		for i := range ref {
+			if res.Trajectory[i] != ref[i] {
+				t.Fatalf("iteration %d: residual bits differ across identical solves", i)
+			}
+		}
+	}
+}

@@ -36,6 +36,12 @@ var deterministicPackages = map[string]bool{
 	"sympack/internal/blas":     true,
 	"sympack/internal/des":      true,
 	"sympack/internal/metrics":  true,
+	// The iterative-solve subsystem promises bit-identical residual
+	// trajectories across worker and rank counts; a map-ordered traversal
+	// anywhere in the CG/PCG drivers or the IC(k) preconditioner build
+	// would break that contract silently.
+	"sympack/internal/krylov":  true,
+	"sympack/internal/precond": true,
 	// The PGAS runtime delivers the announcements whose arrival order the
 	// engine's ordered-apply machinery must be immune to; map-ordered RPC
 	// emission would hide exactly the schedule-order leaks the conformance

@@ -266,6 +266,22 @@ func callSinks(pass *analysis.Pass, call *ast.CallExpr) []taint.SinkUse {
 			}
 		}
 		return uses
+	case strings.HasSuffix(path, "internal/krylov") &&
+		(fn.Name() == "Dot" || fn.Name() == "Norm2"):
+		// The pairwise reductions behind every CG/PCG residual trajectory:
+		// a nondeterministic value feeding Dot or Norm2 breaks the
+		// bit-identical-trajectory contract the iter battery pins.
+		var uses []taint.SinkUse
+		sig := fn.Type().(*types.Signature)
+		for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+			if isFloatSlice(sig.Params().At(i).Type()) {
+				uses = append(uses, taint.SinkUse{
+					Value: call.Args[i],
+					Desc:  "a Krylov reduction input (krylov." + fn.Name() + ")",
+				})
+			}
+		}
+		return uses
 	}
 	return nil
 }

@@ -41,6 +41,11 @@ var deterministicPackages = map[string]bool{
 	"sympack/internal/gpu":      true,
 	"sympack/internal/trace":    true,
 	"sympack/internal/metrics":  true,
+	// The iterative-solve subsystem times preconditioner application and
+	// convergence through the machine facade only; a direct clock read
+	// would desynchronize the replayed chaos harness from the solver.
+	"sympack/internal/krylov":  true,
+	"sympack/internal/precond": true,
 	// The service layer is wall-clock-adjacent by nature (latency rings,
 	// breaker cooldowns, backoff), which is exactly why it sits in scope:
 	// every host-clock touchpoint must go through the machine facade so

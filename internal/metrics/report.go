@@ -42,10 +42,13 @@ type Figure struct {
 }
 
 // Point is one (node count, modeled seconds) sample of a scaling curve.
+// Iterative-solve figures additionally record the Krylov iteration count
+// behind the time-to-solution (absent — zero — on direct-solver curves).
 type Point struct {
-	Nodes    int     `json:"nodes"`
-	Seconds  float64 `json:"seconds"`
-	Baseline float64 `json:"baseline_seconds,omitempty"`
+	Nodes      int     `json:"nodes"`
+	Seconds    float64 `json:"seconds"`
+	Baseline   float64 `json:"baseline_seconds,omitempty"`
+	Iterations int     `json:"iterations,omitempty"`
 }
 
 // WriteRunReport writes the report as indented JSON, defaulting the

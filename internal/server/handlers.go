@@ -11,9 +11,11 @@ import (
 	"time"
 
 	"sympack/internal/core"
+	"sympack/internal/krylov"
 	"sympack/internal/machine"
 	"sympack/internal/matrix"
 	"sympack/internal/metrics"
+	"sympack/internal/precond"
 )
 
 // StatusClientClosedRequest is the nginx-convention status for a request
@@ -106,6 +108,47 @@ type SolveBatchRequest struct {
 // SolveBatchResponse carries the solutions in request order.
 type SolveBatchResponse struct {
 	Xs [][]float64 `json:"xs"`
+}
+
+// SolveCGRequest runs an iterative solve: conjugate gradients on the posted
+// matrix, optionally preconditioned by a blocked IC(k) factor the server
+// builds through the engine and caches alongside analyses and factors.
+type SolveCGRequest struct {
+	Matrix WireMatrix `json:"matrix"`
+	B      []float64  `json:"b"`
+	// Solver is "cg" (unpreconditioned) or "pcg" (IC(k) preconditioned);
+	// default "pcg".
+	Solver string `json:"solver,omitempty"`
+	// Precision selects the preconditioner factorization precision:
+	// "fp64" (default) or "fp32" (single-precision kernels with
+	// transparent fp64 retry on breakdown).
+	Precision string `json:"precision,omitempty"`
+	// ICLevel is the IC(k) fill level (pcg only; default 0).
+	ICLevel int `json:"ic_level,omitempty"`
+	// DropTol magnitude-filters the matrix before level expansion.
+	DropTol float64 `json:"drop_tol,omitempty"`
+	// Rtol is the relative convergence tolerance (0 = 1e-8).
+	Rtol float64 `json:"rtol,omitempty"`
+	// MaxIter bounds the iteration count (0 = driver default).
+	MaxIter int `json:"max_iter,omitempty"`
+	// DeadlineMillis bounds this request; 0 falls back to the server
+	// default.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+}
+
+// SolveCGResponse carries the iterative solution and its convergence record.
+type SolveCGResponse struct {
+	X          []float64 `json:"x"`
+	Iterations int       `json:"iterations"`
+	MatVecs    int       `json:"matvecs"`
+	Residual   float64   `json:"residual"`
+	Converged  bool      `json:"converged"`
+	// Precond is the cache id of the IC factor used (pcg only), Cached
+	// whether it was served from the LRU, Shift the diagonal shift the
+	// incomplete factorization needed (0 when unshifted).
+	Precond       string  `json:"precond,omitempty"`
+	PrecondCached bool    `json:"precond_cached,omitempty"`
+	Shift         float64 `json:"shift,omitempty"`
 }
 
 // apiError is the uniform JSON error body.
@@ -468,6 +511,116 @@ func (s *Server) handleSolve(r *http.Request) (any, *httpError) {
 		return nil, s.engineError(ctx, err)
 	}
 	return SolveResponse{X: x}, nil
+}
+
+// precondFor returns the (cached or freshly factored) IC(k) preconditioner
+// for a matrix, pinned; the caller must invoke the release. The cache key
+// includes the value hash — unlike an analysis, an incomplete factor is a
+// numeric object — and the fill level.
+func (s *Server) precondFor(ctx context.Context, a *matrix.SparseSym, id string, req *SolveCGRequest) (*precond.ICFactor, func(), bool, *httpError) {
+	key := "p:" + id
+	s.thrashFor(ctx, key)
+	if v, rel, ok := s.cache.get(key); ok {
+		return v.(*precond.ICFactor), rel, true, nil
+	}
+	opt := s.cfg.Solver
+	if req.Precision != "" {
+		prec, err := core.ParsePrecision(req.Precision)
+		if err != nil {
+			return nil, nil, false, &httpError{code: http.StatusBadRequest, err: err}
+		}
+		opt.Precision = prec
+	}
+	opt.Context = ctx
+	opt.Faults = s.cfg.SolverChaos
+
+	useGPU, probe := s.brk.acquire()
+	if !useGPU {
+		opt.GPUsPerNode = 0
+	}
+	ic, err := precond.NewIC(a, precond.Options{Level: req.ICLevel, DropTol: req.DropTol, Core: opt})
+	s.brk.result(err, probe)
+	if err != nil {
+		switch {
+		case errors.Is(err, precond.ErrBreakdown):
+			return nil, nil, false, &httpError{code: http.StatusUnprocessableEntity, err: err}
+		default:
+			return nil, nil, false, s.engineError(ctx, err)
+		}
+	}
+	// The cached preconditioner outlives this request: drop the
+	// request-scoped context and fault plan before anyone else can see it.
+	ic.F.Opt.Context = nil
+	ic.F.Opt.Faults = nil
+	_ = ic.F.CloseMetrics()
+	v, rel := s.cache.put(key, ic, ic.Bytes())
+	return v.(*precond.ICFactor), rel, false, nil
+}
+
+// handleSolveCG serves POST /v1/solvecg: admission, preconditioner cache,
+// breaker-guarded incomplete factorization, then the PCG driver under the
+// request's deadline.
+func (s *Server) handleSolveCG(r *http.Request) (any, *httpError) {
+	req, herr := decode[SolveCGRequest](r)
+	if herr != nil {
+		return nil, herr
+	}
+	a, err := req.Matrix.toSym(true)
+	if err != nil {
+		return nil, &httpError{code: http.StatusBadRequest, err: err}
+	}
+	if len(req.B) != a.N {
+		return nil, &httpError{code: http.StatusBadRequest,
+			err: fmt.Errorf("rhs has %d entries, matrix is %d×%d", len(req.B), a.N, a.N)}
+	}
+	solver := req.Solver
+	if solver == "" {
+		solver = "pcg"
+	}
+	if solver != "cg" && solver != "pcg" {
+		return nil, &httpError{code: http.StatusBadRequest,
+			err: fmt.Errorf("unknown solver %q (want cg or pcg)", solver)}
+	}
+	ctx, done, herr := s.admit(r, req.DeadlineMillis)
+	if herr != nil {
+		return nil, herr
+	}
+	defer done()
+
+	resp := SolveCGResponse{}
+	kopt := krylov.Options{
+		Rtol:    req.Rtol,
+		MaxIter: req.MaxIter,
+		Ctx:     ctx,
+		Metrics: metrics.NewIterMetrics(s.cfg.Registry),
+	}
+	if solver == "pcg" {
+		id := patternHash(a) + "-" + valueHash(a) + "-l" + strconv.Itoa(req.ICLevel)
+		ic, rel, cached, herr := s.precondFor(ctx, a, id, req)
+		if herr != nil {
+			return nil, herr
+		}
+		defer rel()
+		kopt.Precond = ic
+		resp.Precond = id
+		resp.PrecondCached = cached
+		resp.Shift = ic.Shift
+	}
+	res, err := krylov.Solve(a, req.B, kopt)
+	if err != nil {
+		switch {
+		case errors.Is(err, krylov.ErrIndefinite), errors.Is(err, krylov.ErrNoConvergence):
+			return nil, &httpError{code: http.StatusUnprocessableEntity, err: err}
+		default:
+			return nil, s.ctxError(ctx, err)
+		}
+	}
+	resp.X = res.X
+	resp.Iterations = res.Iterations
+	resp.MatVecs = res.MatVecs
+	resp.Residual = res.Residual
+	resp.Converged = res.Converged
+	return resp, nil
 }
 
 // handleSolveBatch serves POST /v1/solvebatch: many right-hand sides

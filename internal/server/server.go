@@ -149,6 +149,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/factor", s.wrap("factor", s.handleFactor))
 	s.mux.HandleFunc("POST /v1/solve", s.wrap("solve", s.handleSolve))
 	s.mux.HandleFunc("POST /v1/solvebatch", s.wrap("solvebatch", s.handleSolveBatch))
+	s.mux.HandleFunc("POST /v1/solvecg", s.wrap("solvecg", s.handleSolveCG))
 	s.mux.HandleFunc("GET /healthz", metrics.HealthHandler(s.health))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s

@@ -1,0 +1,197 @@
+package symbolic
+
+import (
+	"testing"
+
+	"sympack/internal/gen"
+	"sympack/internal/matrix"
+	"sympack/internal/ordering"
+)
+
+// colPatterns reconstructs the per-column off-diagonal pattern the blocked
+// structure actually stores: for column c in supernode [fc..lc] with
+// off-diagonal rows R, pattern(c) = {c+1..lc} ∪ R.
+func colPatterns(st *Structure) []map[int32]bool {
+	pats := make([]map[int32]bool, st.N)
+	for k := range st.Snodes {
+		sn := &st.Snodes[k]
+		off := sn.Rows[sn.NCols():]
+		for c := sn.FirstCol; c <= sn.LastCol; c++ {
+			p := map[int32]bool{}
+			for r := c + 1; r <= sn.LastCol; r++ {
+				p[r] = true
+			}
+			for _, r := range off {
+				p[r] = true
+			}
+			pats[c] = p
+		}
+	}
+	return pats
+}
+
+func patNnz(pats []map[int32]bool) int {
+	n := 0
+	for _, p := range pats {
+		n += len(p) + 1
+	}
+	return n
+}
+
+func analyzeIC(t *testing.T, m *matrix.SparseSym, level int, drop float64) (*Structure, *matrix.SparseSym) {
+	t.Helper()
+	st, pm, err := AnalyzeIC(m, ordering.MinDegree, DefaultOptions(), ICOptions{Level: level, DropTol: drop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Incomplete {
+		t.Fatal("AnalyzeIC structure not marked Incomplete")
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return st, pm
+}
+
+// TestICZeroLevelMatchesMatrixPattern: IC(0) keeps exactly the pattern of
+// the (permuted) matrix — the strict supernode rule must not smuggle in
+// padding entries.
+func TestICZeroLevelMatchesMatrixPattern(t *testing.T) {
+	for name, m := range testMats() {
+		t.Run(name, func(t *testing.T) {
+			st, pm := analyzeIC(t, m, 0, 0)
+			pats := colPatterns(st)
+			for j := 0; j < pm.N; j++ {
+				want := map[int32]bool{}
+				for p := pm.ColPtr[j]; p < pm.ColPtr[j+1]; p++ {
+					if r := pm.RowInd[p]; int(r) != j {
+						want[r] = true
+					}
+				}
+				if len(want) != len(pats[j]) {
+					t.Fatalf("col %d: IC(0) pattern has %d rows, matrix has %d", j, len(pats[j]), len(want))
+				}
+				for r := range want {
+					if !pats[j][r] {
+						t.Fatalf("col %d: matrix row %d missing from IC(0) pattern", j, r)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestICLevelMonotone: raising k only adds pattern entries.
+func TestICLevelMonotone(t *testing.T) {
+	m := gen.Laplace2D(9, 9)
+	prev := -1
+	for k := 0; k <= 4; k++ {
+		st, _ := analyzeIC(t, m, k, 0)
+		nnz := patNnz(colPatterns(st))
+		if nnz < prev {
+			t.Fatalf("IC(%d) pattern nnz %d < IC(%d) nnz %d", k, nnz, k-1, prev)
+		}
+		prev = nnz
+	}
+}
+
+// TestICLargeLevelIsComplete: with k ≥ n the level rule admits every fill
+// entry, so the pattern must equal the complete factor's.
+func TestICLargeLevelIsComplete(t *testing.T) {
+	for _, m := range []*matrix.SparseSym{
+		gen.Laplace2D(8, 8),
+		gen.RandomSPD(40, 0.1, 4),
+	} {
+		stC, pmC, err := Analyze(m, ordering.MinDegree, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stI, pmI, err := AnalyzeIC(m, ordering.MinDegree, Options{}, ICOptions{Level: m.N})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pmC.Nnz() != pmI.Nnz() {
+			t.Fatalf("permuted matrices differ: %d vs %d nnz", pmC.Nnz(), pmI.Nnz())
+		}
+		pc, pi := colPatterns(stC), colPatterns(stI)
+		for j := range pc {
+			if len(pc[j]) != len(pi[j]) {
+				t.Fatalf("col %d: complete pattern %d rows, IC(n) %d rows", j, len(pc[j]), len(pi[j]))
+			}
+			for r := range pc[j] {
+				if !pi[j][r] {
+					t.Fatalf("col %d: complete row %d missing from IC(n)", j, r)
+				}
+			}
+		}
+	}
+}
+
+// TestICPatternSubsetOfComplete: every IC(k) pattern entry is a true fill
+// entry of the complete factor (levels only remove, never invent).
+func TestICPatternSubsetOfComplete(t *testing.T) {
+	m := gen.RandomSPD(50, 0.15, 9)
+	st, pm := analyzeIC(t, m, 1, 0)
+	brute := bruteLStruct(pm)
+	for j, p := range colPatterns(st) {
+		for r := range p {
+			if !brute[j][r] {
+				t.Fatalf("col %d: IC(1) invented entry %d absent from complete L", j, r)
+			}
+		}
+	}
+}
+
+// TestICDropTolFilters: the threshold pre-filter removes small couplings
+// from the returned matrix, and everything returned lies in the structure.
+func TestICDropTolFilters(t *testing.T) {
+	m := gen.RandomSPD(40, 0.2, 11)
+	_, pmAll := analyzeIC(t, m, 0, 0)
+	st, pm := analyzeIC(t, m, 0, 0.05)
+	if pm.Nnz() >= pmAll.Nnz() {
+		t.Fatalf("DropTol removed nothing: %d vs %d nnz", pm.Nnz(), pmAll.Nnz())
+	}
+	pats := colPatterns(st)
+	for j := 0; j < pm.N; j++ {
+		for p := pm.ColPtr[j]; p < pm.ColPtr[j+1]; p++ {
+			if r := pm.RowInd[p]; int(r) != j && !pats[j][r] {
+				t.Fatalf("filtered matrix entry (%d,%d) outside IC structure", r, j)
+			}
+		}
+		found := false
+		for p := pm.ColPtr[j]; p < pm.ColPtr[j+1]; p++ {
+			if int(pm.RowInd[p]) == j {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("DropTol removed diagonal of column %d", j)
+		}
+	}
+}
+
+// TestICTaskGraphSkipsDroppedTargets: building the task graph on an
+// incomplete structure must not panic, and must drop some block pairs
+// (targets removed by the level rule) rather than emitting every pair the
+// way the complete graph does.
+func TestICTaskGraphSkipsDroppedTargets(t *testing.T) {
+	m := gen.Laplace2D(10, 10)
+	stI, _ := analyzeIC(t, m, 1, 0)
+	tgI := BuildTaskGraph(stI)
+	pairs := 0
+	for k := range stI.Snodes {
+		b := len(stI.SnodeBlocks(int32(k))) - 1
+		pairs += b * (b + 1) / 2
+	}
+	if len(tgI.Updates) >= pairs {
+		t.Fatalf("IC(1) task graph kept all %d block pairs; expected dropped targets", pairs)
+	}
+	// Every surviving update's target must exist and lie in the right place.
+	for _, u := range tgI.Updates {
+		tb := &stI.Blocks[u.Target]
+		a, b := &stI.Blocks[u.BlkA], &stI.Blocks[u.BlkB]
+		if tb.Snode != a.RowSn || tb.RowSn != b.RowSn {
+			t.Fatalf("update target B[%d,%d] inconsistent with sources", tb.RowSn, tb.Snode)
+		}
+	}
+}

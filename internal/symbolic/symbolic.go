@@ -83,6 +83,13 @@ type Structure struct {
 
 	NnzL       int64 // structural nonzeros of L, explicit-zero padding included
 	FactorFlop int64 // flop count of the supernodal factorization
+
+	// Incomplete marks an IC(k) structure (AnalyzeIC): fill above the level
+	// limit has been dropped, so the update-closure invariant does not hold
+	// and update tasks whose target block was dropped are discarded rather
+	// than applied (the standard right-looking incomplete-factorization
+	// rule).
+	Incomplete bool
 }
 
 // NumSupernodes returns the supernode count.
@@ -562,6 +569,12 @@ func (st *Structure) Validate() error {
 	}
 	// Update-closure: for every supernode j and every pair of off-diagonal
 	// blocks (B_{k,j}, B_{i,j}) with i ≥ k, the target B_{i,k} must exist.
+	// Incomplete structures drop fill, so closure is exactly the invariant
+	// they give up; their dropped-target updates are skipped at task-graph
+	// construction instead.
+	if st.Incomplete {
+		return nil
+	}
 	for j := range st.Snodes {
 		blks := st.SnodeBlocks(int32(j))[1:]
 		for x := range blks {

@@ -62,6 +62,12 @@ func BuildTaskGraph(st *Structure) *TaskGraph {
 				a, b := &blks[x], &blks[y]
 				target := st.FindBlock(b.RowSn, a.RowSn)
 				if target < 0 {
+					if st.Incomplete {
+						// IC(k) dropped the target's fill: the contribution
+						// is discarded, the defining move of an incomplete
+						// factorization.
+						continue
+					}
 					// Structure closure guarantees existence; reaching
 					// here means a symbolic bug, better loud than wrong.
 					panic("symbolic: missing update target block")

@@ -56,6 +56,20 @@ type Config struct {
 	// wait; it doubles per attempt, so TransferAttempts × TransferBackoff
 	// defines the per-operation timeout (0 = default 2µs).
 	TransferBackoff float64
+	// ElemBytes is the modeled width of one transferred element in bytes
+	// (0 = 8, the float64 default). Mixed-precision factorizations pass 4:
+	// the wire cost model then charges half the bytes per Rget/Rput/Copy,
+	// matching an implementation that ships fp32 payloads. Host storage
+	// stays []float64 either way — only the byte accounting changes.
+	ElemBytes int
+}
+
+// elemBytes resolves the configured element width.
+func (c *Config) elemBytes() int64 {
+	if c.ElemBytes > 0 {
+		return int64(c.ElemBytes)
+	}
+	return 8
 }
 
 // Runtime is one simulated UPC++ job.
@@ -527,7 +541,7 @@ func (r *Rank) Rget(src GlobalPtr, dst []float64) Future {
 	copy(dst, src.Data)
 	same := src.Rank == int32(r.ID)
 	p := r.rt.net.Classify(src.Kind, simnet.Host, same, r.sameNode(src.Rank))
-	bytes := int64(len(dst) * 8)
+	bytes := int64(len(dst)) * r.rt.cfg.elemBytes()
 	sec := extra + r.account(p, bytes, r.sameNode(src.Rank))
 	r.rt.met.rgetBytes.Observe(float64(bytes))
 	r.rt.met.rgetSeconds.Observe(sec)
@@ -551,7 +565,7 @@ func (r *Rank) Rput(src []float64, dst GlobalPtr) Future {
 	copy(dst.Data, src)
 	same := dst.Rank == int32(r.ID)
 	p := r.rt.net.Classify(simnet.Host, dst.Kind, same, r.sameNode(dst.Rank))
-	return Future{seconds: extra + r.account(p, int64(len(src)*8), r.sameNode(dst.Rank))}
+	return Future{seconds: extra + r.account(p, int64(len(src))*r.rt.cfg.elemBytes(), r.sameNode(dst.Rank))}
 }
 
 // Copy moves data between any two global pointers regardless of kind or
@@ -578,7 +592,7 @@ func (r *Rank) Copy(src, dst GlobalPtr) Future {
 	if same {
 		if src.Kind != dst.Kind {
 			// Host↔device within one process: PCIe copy.
-			dt := r.rt.cfg.Machine.HostDeviceCopyTime(int64(src.Len() * 8))
+			dt := r.rt.cfg.Machine.HostDeviceCopyTime(int64(src.Len()) * r.rt.cfg.elemBytes())
 			r.Charge(dt)
 			return Future{seconds: extra + dt}
 		}
@@ -586,7 +600,7 @@ func (r *Rank) Copy(src, dst GlobalPtr) Future {
 	} else {
 		p = r.rt.net.Classify(src.Kind, dst.Kind, false, sameNode)
 	}
-	return Future{seconds: extra + r.account(p, int64(src.Len()*8), sameNode)}
+	return Future{seconds: extra + r.account(p, int64(src.Len())*r.rt.cfg.elemBytes(), sameNode)}
 }
 
 func (r *Rank) sameNode(other int32) bool {

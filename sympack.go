@@ -29,10 +29,12 @@ import (
 	"sympack/internal/faults"
 	"sympack/internal/gen"
 	"sympack/internal/gpu"
+	"sympack/internal/krylov"
 	"sympack/internal/machine"
 	"sympack/internal/matrix"
 	"sympack/internal/metrics"
 	"sympack/internal/ordering"
+	"sympack/internal/precond"
 	"sympack/internal/symbolic"
 	"sympack/internal/trace"
 )
@@ -229,6 +231,114 @@ func SolveOnce(a *Matrix, b []float64, opt Options) ([]float64, error) {
 		return nil, err
 	}
 	return f.Solve(b)
+}
+
+// ----------------------------------------------------- iterative solves ----
+
+// Precision selects the numeric working precision of the factorization
+// kernels for Options.Precision. PrecFP32 runs POTRF/TRSM/SYRK/GEMM in
+// single precision (CPU only — the modeled device is fp64) and transparently
+// retries in fp64 if a pivot breaks down under fp32 rounding; pair it with
+// Factor.SolveRefined or SolveCG to recover fp64-quality solutions.
+type Precision = core.Precision
+
+// Precisions for Options.Precision.
+const (
+	PrecFP64 = core.PrecFP64
+	PrecFP32 = core.PrecFP32
+)
+
+// ParsePrecision parses a precision name ("fp64"/"double", "fp32"/"single"/
+// "mixed") as accepted by the CLI -precision flags.
+func ParsePrecision(s string) (Precision, error) { return core.ParsePrecision(s) }
+
+// PrecondKind selects a preconditioner for SolveCG.
+type PrecondKind = precond.Kind
+
+// Preconditioner kinds for CGOptions.Precond.
+const (
+	PrecondNone = precond.None // unpreconditioned CG
+	PrecondIC   = precond.IC   // blocked incomplete Cholesky IC(k)
+)
+
+// ParsePrecondKind parses a preconditioner name ("none", "ic") as accepted
+// by the CLI -solver flags.
+func ParsePrecondKind(s string) (PrecondKind, error) { return precond.ParseKind(s) }
+
+// CGOptions configures SolveCG.
+type CGOptions struct {
+	// Rtol is the relative convergence tolerance (0 = 1e-8); Atol an
+	// absolute floor (0 = none); MaxIter the iteration budget (0 = 10·n,
+	// capped at 10000).
+	Rtol    float64
+	Atol    float64
+	MaxIter int
+	// Precond selects the preconditioner (default PrecondNone).
+	Precond PrecondKind
+	// ICLevel is the IC(k) fill level when Precond is PrecondIC.
+	ICLevel int
+	// DropTol, when positive, magnitude-filters the matrix before the IC
+	// level expansion.
+	DropTol float64
+	// RecordTrajectory retains the per-iteration residual norms in
+	// CGResult.Trajectory (bit-identical across worker and rank counts).
+	RecordTrajectory bool
+	// Metrics, when non-nil, receives the sympack_iter_* series of the
+	// solve (and of the preconditioner factorization).
+	Metrics *MetricsRegistry
+}
+
+// CGResult reports a conjugate-gradient solve.
+type CGResult = krylov.Result
+
+// ICPreconditioner is a ready blocked IC(k) preconditioner; build one with
+// NewICPreconditioner to amortize across SolveCG calls on one matrix.
+type ICPreconditioner = precond.ICFactor
+
+// NewICPreconditioner analyzes and factors an IC(k) preconditioner for a.
+// The engine surface in opt (ranks, workers, formulation, mapping,
+// precision) applies to the preconditioner's factorization.
+func NewICPreconditioner(a *Matrix, level int, dropTol float64, opt Options) (*ICPreconditioner, error) {
+	return precond.NewIC(a, precond.Options{Level: level, DropTol: dropTol, Core: opt})
+}
+
+// Iterative-solve failure taxonomy, re-exported for errors.Is.
+var (
+	// ErrIndefinite reports a CG breakdown: the operator or preconditioner
+	// is not positive definite on the Krylov space.
+	ErrIndefinite = krylov.ErrIndefinite
+	// ErrNoConvergence reports iteration-budget exhaustion; the partial
+	// CGResult is still returned.
+	ErrNoConvergence = krylov.ErrNoConvergence
+	// ErrPrecondBreakdown reports that the incomplete factorization broke
+	// down at every diagonal shift.
+	ErrPrecondBreakdown = precond.ErrBreakdown
+)
+
+// SolveCG solves A·x = b by (preconditioned) conjugate gradients. With
+// cg.Precond = PrecondIC it builds a blocked IC(cg.ICLevel) factor through
+// the distributed engine configured by opt and applies it each iteration;
+// with PrecondNone opt only supplies the cancellation context. Residual
+// trajectories are bit-identical across worker and rank counts.
+func SolveCG(a *Matrix, b []float64, opt Options, cg CGOptions) (*CGResult, error) {
+	kopt := krylov.Options{
+		Rtol:             cg.Rtol,
+		Atol:             cg.Atol,
+		MaxIter:          cg.MaxIter,
+		Ctx:              opt.Context,
+		RecordTrajectory: cg.RecordTrajectory,
+	}
+	if cg.Metrics != nil {
+		kopt.Metrics = metrics.NewIterMetrics(cg.Metrics)
+	}
+	if cg.Precond == PrecondIC {
+		ic, err := NewICPreconditioner(a, cg.ICLevel, cg.DropTol, opt)
+		if err != nil {
+			return nil, err
+		}
+		kopt.Precond = ic
+	}
+	return krylov.Solve(a, b, kopt)
 }
 
 // BaselineFactor is a factorization computed by the right-looking baseline
